@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: context-sensitive enforcement (Sections I and V-C). The
+ * microcode variant's defining flexibility is surgical, on-demand
+ * protection: allocations are always tracked, but capCheck
+ * micro-ops are injected only while executing security-critical
+ * code. This sweep protects a growing fraction of each program's
+ * text section and reports the check count and slowdown, showing
+ * overhead scaling down to near-native as the protected region
+ * shrinks.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace chex;
+using namespace chex::bench;
+
+int
+main()
+{
+    std::printf("Ablation: context-sensitive (surgical) "
+                "enforcement\n\n");
+
+    const double fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+    Table t({"benchmark", "protected", "slowdown", "checks",
+             "uop expansion"});
+
+    for (const char *name : {"mcf", "xalancbmk", "perlbench"}) {
+        const BenchmarkProfile &p = profileByName(name);
+        RunResult base = runVariant(p, VariantKind::Baseline);
+
+        BenchmarkProfile scaled = p;
+        scaled.iterations =
+            std::max<uint64_t>(200, p.iterations / scale());
+        Program prog = generateWorkload(scaled, 1);
+        uint64_t text_bytes = prog.numInsts() * InstSlotBytes;
+
+        for (double f : fractions) {
+            SystemConfig cfg;
+            cfg.variant.kind = VariantKind::MicrocodePrediction;
+            if (f < 1.0) {
+                cfg.variant.criticalRegions = {
+                    {prog.codeBase,
+                     prog.codeBase +
+                         static_cast<uint64_t>(f * text_bytes)}};
+            }
+            System sys(cfg);
+            sys.load(prog);
+            RunResult r = sys.run();
+            if (!r.exited)
+                chex_fatal("context ablation run failed");
+            t.addRow({name, Table::pct(f, 0),
+                      Table::pct(static_cast<double>(r.cycles) /
+                                         base.cycles -
+                                     1,
+                                 1),
+                      std::to_string(r.capChecksInjected),
+                      Table::num(static_cast<double>(r.uops) /
+                                     base.uops,
+                                 2)});
+        }
+    }
+    t.print(std::cout);
+
+    std::printf("\nTracking is always on (temporal safety state stays "
+                "warm); check injection — and with it the overhead — "
+                "scales with the protected code fraction.\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation (Section VII-C): Watchdog-style conservative
+ * instrumentation vs CHEx86's prediction-driven scheme. The paper
+ * reports that conservatively instrumenting *every* 64-bit
+ * load/store (what Watchdog does without compiler annotations)
+ * costs ~40 % on average and up to 2x on xalancbmk, versus the
+ * targeted, prediction-driven injection. The always-on microcode
+ * variant is exactly that conservative scheme.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace chex;
+using namespace chex::bench;
+
+int
+main()
+{
+    std::printf("Ablation: conservative (Watchdog-style, always-on) "
+                "instrumentation vs prediction-driven injection\n\n");
+
+    Table t({"benchmark", "conservative (uop-level)",
+             "conservative (macro-level)",
+             "prediction-driven", "checks conservative",
+             "checks prediction", "checks saved"});
+    std::vector<double> cons_uop, cons_macro, pred;
+    for (const BenchmarkProfile &p : specProfiles()) {
+        RunResult base = runVariant(p, VariantKind::Baseline);
+        RunResult on = runVariant(p, VariantKind::MicrocodeAlwaysOn);
+        RunResult bt =
+            runVariant(p, VariantKind::BinaryTranslation);
+        RunResult pr =
+            runVariant(p, VariantKind::MicrocodePrediction);
+        double c = static_cast<double>(on.cycles) / base.cycles;
+        double m = static_cast<double>(bt.cycles) / base.cycles;
+        double d = static_cast<double>(pr.cycles) / base.cycles;
+        cons_uop.push_back(c);
+        cons_macro.push_back(m);
+        pred.push_back(d);
+        double saved = 1.0 - static_cast<double>(pr.capChecksInjected) /
+                                 on.capChecksInjected;
+        t.addRow({p.name, Table::pct(c - 1, 1), Table::pct(m - 1, 1),
+                  Table::pct(d - 1, 1),
+                  std::to_string(on.capChecksInjected),
+                  std::to_string(pr.capChecksInjected),
+                  Table::pct(saved, 1)});
+    }
+    t.print(std::cout);
+
+    std::printf("\nGeomean slowdown: conservative %.1f%% at the "
+                "micro-op level / %.1f%% with Watchdog-style "
+                "instruction-level check sequences, vs %.1f%% "
+                "prediction-driven (paper: ~40%% conservative vs "
+                "14%%, xalancbmk up to 2x).\n",
+                (geomean(cons_uop) - 1) * 100,
+                (geomean(cons_macro) - 1) * 100,
+                (geomean(pred) - 1) * 100);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses: run a
+ * benchmark profile under a variant and collect the RunResult, with
+ * a process-wide scale knob (CHEX_BENCH_SCALE divides iteration
+ * counts for quick smoke runs).
+ */
+
+#ifndef CHEX_BENCH_COMMON_HH
+#define CHEX_BENCH_COMMON_HH
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace chex
+{
+namespace bench
+{
+
+/** Iteration divisor from $CHEX_BENCH_SCALE (default 1). */
+inline uint64_t
+scale()
+{
+    if (const char *s = std::getenv("CHEX_BENCH_SCALE")) {
+        uint64_t v = std::strtoull(s, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return 1;
+}
+
+/** Run @p profile under @p cfg; returns the collected results. */
+inline RunResult
+runProfile(const BenchmarkProfile &profile, SystemConfig cfg,
+           uint64_t seed = 1)
+{
+    BenchmarkProfile p = profile;
+    p.iterations = std::max<uint64_t>(200, p.iterations / scale());
+    System sys(cfg);
+    sys.load(generateWorkload(p, seed));
+    RunResult r = sys.run();
+    if (!r.exited) {
+        std::fprintf(stderr,
+                     "bench: %s did not exit cleanly (violation=%d)\n",
+                     p.name.c_str(), r.violationDetected ? 1 : 0);
+        std::exit(1);
+    }
+    return r;
+}
+
+/** Run under just a variant kind with default config. */
+inline RunResult
+runVariant(const BenchmarkProfile &profile, VariantKind kind,
+           uint64_t seed = 1)
+{
+    SystemConfig cfg;
+    cfg.variant.kind = kind;
+    return runProfile(profile, cfg, seed);
+}
+
+/** Geometric mean helper for summary rows. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace bench
+} // namespace chex
+
+#endif // CHEX_BENCH_COMMON_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 1: root cause of CVEs by patch year since 2006 (re-created,
+ * as in the paper, from the published Microsoft/Google trend data
+ * [30], [47]). This is a data figure — no simulation — included so
+ * every figure in the paper has a regenerating binary. The headline
+ * property the paper cites: memory-safety classes account for ~70 %
+ * of patched vulnerabilities every year.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/table.hh"
+
+using namespace chex;
+
+namespace
+{
+
+struct YearRow
+{
+    const char *year;
+    // Percentages per class (approximate recreation of the public
+    // MSRC trend chart the paper reproduces).
+    double stack;
+    double heapCorruption;
+    double useAfterFree;
+    double heapOobRead;
+    double uninitializedUse;
+    double typeConfusion;
+    double other;
+};
+
+const YearRow kRows[] = {
+    {"'06", 23, 32, 3, 5, 2, 1, 34},
+    {"'07", 21, 30, 4, 6, 2, 1, 36},
+    {"'08", 20, 29, 6, 6, 3, 1, 35},
+    {"'09", 18, 27, 9, 7, 3, 2, 34},
+    {"'10", 16, 26, 12, 7, 4, 2, 33},
+    {"'11", 14, 24, 16, 8, 4, 2, 32},
+    {"'12", 12, 22, 19, 9, 5, 3, 30},
+    {"'13", 10, 21, 22, 9, 5, 4, 29},
+    {"'14", 9, 20, 23, 10, 5, 4, 29},
+    {"'15", 8, 19, 25, 10, 6, 5, 27},
+    {"'16", 7, 19, 24, 11, 6, 6, 27},
+    {"'17", 6, 18, 23, 12, 7, 6, 28},
+    {"'18", 5, 17, 22, 13, 8, 7, 28},
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 1: Root Cause of CVEs by Patch Year "
+                "(re-created from [30],[47])\n");
+    std::printf("The 'other' category: XSS/zone elevation, DLL "
+                "planting, canonicalization/symlink issues.\n\n");
+
+    Table t({"year", "stack", "heap-corr", "UAF", "heap-OOB-rd",
+             "uninit", "type-conf", "other", "mem-safety total"});
+    for (const YearRow &r : kRows) {
+        double mem_safety = r.stack + r.heapCorruption +
+                            r.useAfterFree + r.heapOobRead +
+                            r.uninitializedUse + r.typeConfusion;
+        t.addRow({r.year, Table::num(r.stack, 0) + "%",
+                  Table::num(r.heapCorruption, 0) + "%",
+                  Table::num(r.useAfterFree, 0) + "%",
+                  Table::num(r.heapOobRead, 0) + "%",
+                  Table::num(r.uninitializedUse, 0) + "%",
+                  Table::num(r.typeConfusion, 0) + "%",
+                  Table::num(r.other, 0) + "%",
+                  Table::num(mem_safety, 0) + "%"});
+    }
+    t.print(std::cout);
+    std::printf("\nPaper's observation: memory-safety violations "
+                "consistently account for ~70%% of patched CVEs.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 3: benchmark memory-allocation behaviour — total
+ * allocations over the run, maximum live allocations, and average
+ * allocations-in-use per execution interval (the paper profiles
+ * 100 M-instruction intervals with valgrind; we instrument the
+ * simulated heap directly, with a proportionally scaled interval).
+ *
+ * The property that motivates the capability cache: totals exceed
+ * live sets by an order of magnitude, and the in-use set is smaller
+ * still — small enough for a 64-entry cache.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace chex;
+using namespace chex::bench;
+
+int
+main()
+{
+    std::printf("Figure 3: Benchmark Memory Allocation Behavior\n\n");
+
+    Table t({"benchmark", "total allocs", "max live",
+             "in-use / interval", "total/live", "live/in-use"});
+
+    double worst_in_use = 0.0;
+    for (const BenchmarkProfile &p : allProfiles()) {
+        SystemConfig cfg;
+        cfg.variant.kind = VariantKind::MicrocodePrediction;
+        cfg.inUseIntervalMacroOps = 50000;
+        RunResult r = runProfile(p, cfg);
+        worst_in_use = std::max(worst_in_use, r.avgAllocationsInUse);
+        t.addRow({p.name, std::to_string(r.totalAllocations),
+                  std::to_string(r.maxLiveAllocations),
+                  Table::num(r.avgAllocationsInUse, 1),
+                  Table::num(static_cast<double>(r.totalAllocations) /
+                                 std::max<uint64_t>(
+                                     r.maxLiveAllocations, 1),
+                             1),
+                  Table::num(static_cast<double>(
+                                 r.maxLiveAllocations) /
+                                 std::max(r.avgAllocationsInUse, 1.0),
+                             1)});
+    }
+    t.print(std::cout);
+    std::printf("\nPaper's claims re-checked: total >> max-live >> "
+                "in-use; the in-use working set (worst case %.0f "
+                "here) motivates a small in-processor capability "
+                "cache.\n",
+                worst_in_use);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 8: pointer-alias misprediction rate with 1024 vs 2048
+ * predictor entries (top), and the percentage of time spent
+ * squashing instructions for the insecure baseline vs
+ * prediction-driven CHEx86 (bottom).
+ *
+ * Paper targets: ~89 % average prediction accuracy; the squash-time
+ * delta attributable to alias mispredictions is negligible.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace chex;
+using namespace chex::bench;
+
+int
+main()
+{
+    std::printf("Figure 8: Pointer Alias Misprediction Rate (top) "
+                "and %% Time Spent Squashing (bottom)\n\n");
+
+    Table t({"benchmark", "mispred 1024e", "mispred 2048e",
+             "accuracy", "P0AN", "PMAN", "PNA0", "squash% base",
+             "squash% CHEx86"});
+
+    std::vector<double> acc, mis1024;
+    std::vector<double> squash_delta;
+    for (const BenchmarkProfile &p : allProfiles()) {
+        RunResult base = runVariant(p, VariantKind::Baseline);
+
+        SystemConfig c1;
+        c1.variant.kind = VariantKind::MicrocodePrediction;
+        c1.aliasPredictor.entries = 1024;
+        RunResult r1 = runProfile(p, c1);
+
+        SystemConfig c2 = c1;
+        c2.aliasPredictor.entries = 2048;
+        RunResult r2 = runProfile(p, c2);
+
+        acc.push_back(r1.aliasPredAccuracy);
+        mis1024.push_back(r1.reloadMispredictionRate);
+        squash_delta.push_back(r1.squashFraction -
+                               base.squashFraction);
+
+        t.addRow({p.name, Table::pct(r1.reloadMispredictionRate),
+                  Table::pct(r2.reloadMispredictionRate),
+                  Table::pct(r1.aliasPredAccuracy),
+                  std::to_string(r1.p0anFlushes),
+                  std::to_string(r1.pmanForwards),
+                  std::to_string(r1.pna0ZeroIdioms),
+                  Table::pct(base.squashFraction),
+                  Table::pct(r1.squashFraction)});
+    }
+    t.print(std::cout);
+
+    auto mean = [](const std::vector<double> &v) {
+        double s = 0;
+        for (double x : v)
+            s += x;
+        return s / static_cast<double>(v.size());
+    };
+    std::printf("\nPaper targets: ~89%% average accuracy (measured "
+                "%.0f%%); alias-squash contribution negligible "
+                "(measured average squash-time delta %.2f "
+                "percentage points).\n",
+                mean(acc) * 100, mean(squash_delta) * 100);
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Section VII-A: the security evaluation. Runs all three exploit
+ * suites — the RIPE-style dimension sweep, the ASan-style unit
+ * violations, and the 18 How2Heap-style heap-metadata exploits —
+ * under prediction-driven CHEx86 and reports, per suite, how many
+ * exploits were thwarted and the breakdown by anchor violation
+ * class; also verifies against the insecure baseline that the
+ * exploits are real (their corruption indicator fires).
+ */
+
+#include <iostream>
+#include <map>
+
+#include "attacks/asan_suite.hh"
+#include "attacks/how2heap.hh"
+#include "attacks/ripe.hh"
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace chex;
+
+namespace
+{
+
+struct SuiteSummary
+{
+    unsigned total = 0;
+    unsigned detected = 0;
+    unsigned expectedAnchor = 0;
+    unsigned baselineSucceeded = 0;
+    unsigned baselineChecked = 0;
+    std::map<Violation, unsigned> byClass;
+};
+
+SuiteSummary
+evaluate(const std::vector<AttackCase> &cases)
+{
+    SuiteSummary s;
+    for (const AttackCase &attack : cases) {
+        ++s.total;
+        SystemConfig cfg;
+        cfg.variant.kind = VariantKind::MicrocodePrediction;
+        System sys(cfg);
+        sys.load(attack.program);
+        RunResult r = sys.run();
+        if (r.violationDetected) {
+            ++s.detected;
+            ++s.byClass[r.violations[0].kind];
+            if (r.violations[0].kind == attack.expected)
+                ++s.expectedAnchor;
+        }
+
+        if (attack.indicatorAddr != 0) {
+            ++s.baselineChecked;
+            SystemConfig bcfg;
+            bcfg.variant.kind = VariantKind::Baseline;
+            System bsys(bcfg);
+            bsys.load(attack.program);
+            bsys.run();
+            if (bsys.memory().read(attack.indicatorAddr, 8) ==
+                attack.indicatorExpect)
+                ++s.baselineSucceeded;
+        }
+    }
+    return s;
+}
+
+std::string
+classBreakdown(const SuiteSummary &s)
+{
+    std::string out;
+    for (const auto &[v, n] : s.byClass) {
+        if (!out.empty())
+            out += ", ";
+        out += std::to_string(n) + " " + violationName(v);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Security Evaluation (Section VII-A): CHEx86 "
+                "prediction-driven variant vs the exploit suites\n\n");
+
+    struct Row
+    {
+        const char *name;
+        std::vector<AttackCase> cases;
+    };
+    Row rows[] = {
+        {"RIPE-style sweep", ripeSweep()},
+        {"ASan test suite", asanSuite()},
+        {"How2Heap", how2heapSuite()},
+    };
+
+    Table t({"suite", "exploits", "thwarted", "expected anchor",
+             "work on baseline", "violation classes"});
+    bool all_thwarted = true;
+    for (Row &row : rows) {
+        SuiteSummary s = evaluate(row.cases);
+        all_thwarted &= s.detected == s.total;
+        t.addRow({row.name, std::to_string(s.total),
+                  std::to_string(s.detected),
+                  std::to_string(s.expectedAnchor),
+                  std::to_string(s.baselineSucceeded) + "/" +
+                      std::to_string(s.baselineChecked),
+                  classBreakdown(s)});
+    }
+    t.print(std::cout);
+
+    std::printf("\n%s\n",
+                all_thwarted
+                    ? "All exploits thwarted, matching the paper: "
+                      "regardless of allocator evasion, the anchor "
+                      "points remain OOB, UAF, double free, invalid "
+                      "free, and oversize allocation."
+                    : "WARNING: some exploits were NOT detected!");
+    return all_thwarted ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Table I: the pointer-tracking rule database. Prints the
+ * expert-seeded database, then *regenerates* it the way the paper
+ * describes (Section V-A): starting from a minimal seed (MOV and the
+ * load/store alias rules), the hardware checker co-processor
+ * validates every register-writing micro-op against an exhaustive
+ * shadow-table search and installs rules once a propagation action
+ * consistently explains the mismatches, across the workload suite.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "common.hh"
+#include "tracker/checker.hh"
+
+using namespace chex;
+using namespace chex::bench;
+
+namespace
+{
+
+const char *
+formName(OperandForm f)
+{
+    switch (f) {
+      case OperandForm::RegReg: return "Reg-Reg";
+      case OperandForm::RegImm: return "Reg-Imm";
+      case OperandForm::Mem: return "Reg-Mem";
+      default: return "?";
+    }
+}
+
+std::string
+keyName(const RuleKey &k)
+{
+    std::string s = uopTypeName(k.type);
+    switch (k.op) {
+      case AluOp::Mov: s = "MOV"; break;
+      case AluOp::Add: s = "ADD"; break;
+      case AluOp::Sub: s = "SUB"; break;
+      case AluOp::And: s = "AND"; break;
+      default: break;
+    }
+    if (k.type == UopType::Lea)
+        s = "LEA";
+    if (k.type == UopType::Load)
+        s = "LD";
+    if (k.type == UopType::Store)
+        s = "ST";
+    if (k.type == UopType::LoadImm)
+        s = "MOVI";
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table I: Pointer Tracking Rule Database "
+                "(expert-seeded)\n\n");
+    Table expert({"uop", "addr. mode", "example",
+                  "capability propagation", "code example"});
+    for (const TrackRule &r : RuleDatabase::tableI().rules()) {
+        expert.addRow({keyName(r.key), formName(r.key.form),
+                       r.example, ruleActionName(r.action),
+                       r.codeExample});
+    }
+    expert.print(std::cout);
+
+    std::printf("\nAutomatic rule construction (Section V-A): seed = "
+                "MOV + LD/ST alias rules; the hardware checker "
+                "constructs the rest while running the workload "
+                "suite:\n\n");
+
+    SystemConfig cfg;
+    cfg.variant.kind = VariantKind::MicrocodePrediction;
+    cfg.variant.haltOnViolation = false;
+    cfg.useTableIRules = false;
+    cfg.enableChecker = true;
+
+    Table constructed({"benchmark", "validations", "mismatches",
+                       "match rate", "rules constructed",
+                       "manual escalations"});
+    std::vector<ConstructedRule> all_rules;
+    for (const char *name : {"perlbench", "mcf", "xalancbmk",
+                             "canneal", "freqmine"}) {
+        BenchmarkProfile p = profileByName(name);
+        p.iterations = std::max<uint64_t>(200, p.iterations / (4 * scale()));
+        System sys(cfg);
+        sys.load(generateWorkload(p, 1));
+        sys.run();
+        const HardwareChecker &chk = *sys.checker();
+        constructed.addRow(
+            {name, std::to_string(chk.validations()),
+             std::to_string(chk.mismatches()),
+             Table::pct(chk.matchRate()),
+             std::to_string(chk.constructedRules().size()),
+             std::to_string(chk.manualInterventions())});
+        for (const auto &r : chk.constructedRules()) {
+            bool seen = false;
+            for (const auto &existing : all_rules)
+                if (existing.key == r.key)
+                    seen = true;
+            if (!seen)
+                all_rules.push_back(r);
+        }
+    }
+    constructed.print(std::cout);
+
+    std::printf("\nRules the checker installed (union across "
+                "workloads):\n\n");
+    Table rules({"uop", "addr. mode", "inferred action", "votes",
+                 "example"});
+    for (const auto &r : all_rules) {
+        rules.addRow({keyName(r.key), formName(r.key.form),
+                      ruleActionName(r.action),
+                      std::to_string(r.votes), r.exampleUop});
+    }
+    rules.print(std::cout);
+
+    std::printf("\nPaper's claim re-checked: pointer activity is "
+                "trackable with a small number of distinct micro-op "
+                "rules, constructible automatically at run time.\n");
+    return 0;
+}

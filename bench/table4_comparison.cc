@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table IV: comparison with prior memory-safety techniques. The
+ * prior-work rows are the paper's reported numbers (they are
+ * literature values, not re-runs); the CHEx86 row is *measured* by
+ * this harness on the SPEC-profile workloads: average/worst
+ * performance overhead and average/worst storage overhead.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "base/table.hh"
+#include "common.hh"
+
+using namespace chex;
+using namespace chex::bench;
+
+int
+main()
+{
+    // Measure the CHEx86 row.
+    std::vector<double> slowdowns, storage;
+    std::string worst_perf_name, worst_storage_name;
+    double worst_perf = 0, worst_storage = 0;
+    for (const BenchmarkProfile &p : specProfiles()) {
+        RunResult base = runVariant(p, VariantKind::Baseline);
+        RunResult pred =
+            runVariant(p, VariantKind::MicrocodePrediction);
+        double slow =
+            static_cast<double>(pred.cycles) / base.cycles - 1.0;
+        double ovh = static_cast<double>(pred.footprintBytes) /
+                         base.residentBytes -
+                     1.0;
+        slowdowns.push_back(slow);
+        storage.push_back(ovh);
+        if (slow > worst_perf) {
+            worst_perf = slow;
+            worst_perf_name = p.name;
+        }
+        if (ovh > worst_storage) {
+            worst_storage = ovh;
+            worst_storage_name = p.name;
+        }
+    }
+    double avg_perf = 0, avg_storage = 0;
+    for (double v : slowdowns)
+        avg_perf += v;
+    avg_perf /= static_cast<double>(slowdowns.size());
+    for (double v : storage)
+        avg_storage += v;
+    avg_storage /= static_cast<double>(storage.size());
+
+    std::printf("Table IV: Comparison with Prior Memory Safety "
+                "Techniques\n(prior rows: values reported in the "
+                "paper; CHEx86 row: measured by this harness)\n\n");
+
+    Table t({"proposal", "temporal", "spatial", "metadata",
+             "binary compat", "perf (avg)", "perf (worst)",
+             "storage (avg)", "storage (worst)", "hw changes"});
+    t.addRow({"Hardbound", "no", "yes", "shadow", "partial",
+              "5% (Olden)", "55%", "-", "-",
+              "tag cache + TLB, uop injection"});
+    t.addRow({"Watchdog", "yes", "yes", "shadow", "partial",
+              "24% (SPEC2000)", "56%", "-", "-",
+              "renaming logic, uop injection, lock cache"});
+    t.addRow({"Intel MPX", "no", "yes", "inline", "no",
+              "80% (SPEC2006)", "150%", "-", "-", "N/A"});
+    t.addRow({"BOGO", "yes", "yes", "inline", "no", "60% (SPEC2006)",
+              "36%", "-", "-", "N/A"});
+    t.addRow({"CHERI", "no", "yes", "inline", "no", "18% (Olden)",
+              "90%", "-", "-", "cap coprocessor, tag cache"});
+    t.addRow({"CHERIvoke", "yes", "no", "inline", "no",
+              "4.7% (SPEC2006)", "12.5%", "-", "-",
+              "cap coprocessor, tag controller"});
+    t.addRow({"REST", "yes", "yes", "shadow", "no", "23% (SPEC2006)",
+              "N/A", "-", "-", "1-8b per L1D line, comparator"});
+    t.addRow({"Califorms", "yes", "yes", "shadow", "no",
+              "16% (SPEC2006)", "N/A", "-", "-",
+              "8b per L1D line, 1b per L2/L3 line"});
+    t.addRow({"CHEx86 (measured)", "yes", "yes", "shadow", "yes",
+              Table::pct(avg_perf, 0) + " (SPEC)",
+              Table::pct(worst_perf, 0) + " (" + worst_perf_name + ")",
+              Table::pct(avg_storage, 0),
+              Table::pct(worst_storage, 0) + " (" +
+                  worst_storage_name + ")",
+              "uop injection, cap$, alias$, pointer tracker"});
+    t.print(std::cout);
+
+    std::printf("\nPaper's CHEx86 row: 14%% average performance "
+                "(SPEC2017), 38%% storage overhead; both temporal "
+                "and spatial safety with full binary "
+                "compatibility.\n");
+    return 0;
+}

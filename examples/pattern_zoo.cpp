@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Pattern zoo: a tour of the temporal pointer-access patterns of
+ * Table II. For each class, generates a PID schedule, prints the
+ * first few identifiers the way the paper's table does, classifies
+ * the sequence back, and then feeds it through a fresh 512-entry
+ * alias predictor to show how predictable (or not) each class is —
+ * the empirical basis for CHEx86's spilled-pointer reload
+ * prediction.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "base/table.hh"
+#include "tracker/alias_predictor.hh"
+#include "workload/patterns.hh"
+
+using namespace chex;
+
+int
+main()
+{
+    std::printf("The temporal pointer access pattern zoo "
+                "(Table II)\n\n");
+
+    Random rng(2026);
+    Table t({"pattern", "first PIDs", "classified", "stride/period",
+             "predictor accuracy"});
+
+    for (int k = 0; k < 8; ++k) {
+        auto kind = static_cast<PatternKind>(k);
+
+        PatternParams pp;
+        pp.numBuffers = 40;
+        pp.length = 2048;
+        pp.batchLen = 3;
+        pp.period = 3;
+        pp.stride = 3;
+        auto sched = generateSchedule(kind, pp, rng);
+
+        std::ostringstream head;
+        for (int i = 0; i < 7; ++i)
+            head << (i ? " " : "") << 10 + sched[i];
+
+        std::vector<uint64_t> ids;
+        for (unsigned s : sched)
+            ids.push_back(10 + s);
+        auto cls = classifySequence(ids);
+
+        std::string param = "-";
+        if (cls.stride != 0)
+            param = "stride " + std::to_string(cls.stride);
+        else if (cls.period != 0)
+            param = "period " + std::to_string(cls.period);
+
+        // Teach a fresh predictor this one PC's reload stream.
+        AliasPredictor pred;
+        for (uint64_t id : ids) {
+            AliasPrediction p = pred.predict(0x401000);
+            pred.update(0x401000, p, static_cast<Pid>(id));
+        }
+
+        t.addRow({patternName(kind), head.str(),
+                  patternName(cls.kind), param,
+                  Table::pct(pred.accuracy())});
+    }
+    t.print(std::cout);
+
+    std::printf(
+        "\nTakeaways (Section V-B):\n"
+        " - patterns key on the *instruction* address, not the "
+        "effective address;\n"
+        " - constant and strided reload streams predict almost "
+        "perfectly;\n"
+        " - batched and strided-repeat classes remain largely "
+        "predictable;\n"
+        " - non-strided repeats and random orders defeat a pure "
+        "stride predictor,\n"
+        "   but their mispredictions become cheap PID forwards "
+        "(PMAN, Figure 5e)\n"
+        "   rather than pipeline flushes, so the performance cost "
+        "stays negligible.\n");
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Quickstart: the five-minute tour of the CHEx86 library.
+ *
+ * Builds a tiny program with the in-memory assembler, runs it on a
+ * simulated CHEx86 core under the default prediction-driven
+ * microcode variant, and shows (1) a clean run with its timing
+ * statistics and (2) the same program with an off-by-one heap write,
+ * flagged as an out-of-bounds violation — with zero changes to the
+ * "binary".
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "sim/system.hh"
+
+using namespace chex;
+
+namespace
+{
+
+/**
+ * The C program this assembles by hand:
+ *
+ *   long *buf = malloc(64);
+ *   for (int i = 0; i < n; i++) buf[i] = i;   // n = 8 or 9 (oops)
+ *   long sum = 0;
+ *   for (int i = 0; i < 8; i++) sum += buf[i];
+ *   free(buf);
+ */
+Program
+buildProgram(int64_t words_written)
+{
+    Assembler as;
+
+    as.movri(RDI, 64);
+    as.call(IntrinsicKind::Malloc);
+    as.movrr(R12, RAX); // buf
+
+    auto fill = as.newLabel();
+    as.movri(RBX, 0);
+    as.bind(fill);
+    as.movmr(memAt(R12, 0, RBX, 8), RBX); // buf[i] = i
+    as.addri(RBX, 1);
+    as.cmpri(RBX, words_written);
+    as.jcc(CondCode::LT, fill);
+
+    auto sum = as.newLabel();
+    as.movri(RBX, 0);
+    as.movri(RDX, 0);
+    as.bind(sum);
+    as.addrm(RDX, memAt(R12, 0, RBX, 8)); // sum += buf[i]
+    as.addri(RBX, 1);
+    as.cmpri(RBX, 8);
+    as.jcc(CondCode::LT, sum);
+
+    as.movrr(RDI, R12);
+    as.call(IntrinsicKind::Free);
+    as.movrr(RDI, RDX);
+    as.call(IntrinsicKind::PrintVal);
+    as.hlt();
+    return as.finalize();
+}
+
+} // namespace
+
+int
+main()
+{
+    // 1. Configure a system. Defaults reproduce the paper's setup:
+    //    Skylake-class core (Table III), 64-entry capability cache,
+    //    256-entry alias cache + victim cache, 512-entry alias
+    //    predictor, prediction-driven microcode enforcement.
+    SystemConfig cfg;
+    cfg.variant.kind = VariantKind::MicrocodePrediction;
+
+    std::printf("=== clean run (writes exactly 8 words) ===\n");
+    {
+        System sys(cfg);
+        sys.load(buildProgram(8));
+        RunResult r = sys.run();
+        std::printf("exited cleanly : %s\n", r.exited ? "yes" : "no");
+        std::printf("violations     : %zu\n", r.violations.size());
+        std::printf("cycles         : %lu (IPC %.2f)\n",
+                    static_cast<unsigned long>(r.cycles), r.ipc);
+        std::printf("macro-ops/uops : %lu / %lu\n",
+                    static_cast<unsigned long>(r.macroOps),
+                    static_cast<unsigned long>(r.uops));
+        std::printf("capability checks injected: %lu\n",
+                    static_cast<unsigned long>(r.capChecksInjected));
+        std::printf("sum computed   : %lu (expect 28)\n",
+                    static_cast<unsigned long>(
+                        sys.machine().reg(RDX)));
+    }
+
+    std::printf("\n=== buggy run (writes 9 words into a 64-byte "
+                "buffer) ===\n");
+    {
+        System sys(cfg);
+        sys.load(buildProgram(9));
+        RunResult r = sys.run();
+        if (r.violationDetected) {
+            const ViolationRecord &v = r.violations[0];
+            std::printf("CHEx86 flagged : %s\n",
+                        violationName(v.kind));
+            std::printf("  at pc 0x%lx, address 0x%lx, PID %u\n",
+                        static_cast<unsigned long>(v.pc),
+                        static_cast<unsigned long>(v.addr), v.pid);
+            std::printf("the program was stopped before the "
+                        "corrupting store committed.\n");
+        } else {
+            std::printf("UNEXPECTED: violation missed!\n");
+            return 1;
+        }
+    }
+
+    std::printf("\n=== same buggy binary on the insecure baseline "
+                "===\n");
+    {
+        SystemConfig base = cfg;
+        base.variant.kind = VariantKind::Baseline;
+        System sys(base);
+        sys.load(buildProgram(9));
+        RunResult r = sys.run();
+        std::printf("exited 'cleanly': %s — the overflow silently "
+                    "corrupted the neighbouring heap chunk.\n",
+                    r.exited ? "yes" : "no");
+    }
+    return 0;
+}

@@ -1,0 +1,281 @@
+#include "asan_suite.hh"
+
+#include "isa/assembler.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+/** Shared prologue: malloc(size) -> R12, indicator pool -> R11. */
+struct CaseBuilder
+{
+    Assembler as;
+    uint64_t indAddr;
+    uint64_t poolInd;
+
+    CaseBuilder()
+    {
+        indAddr = as.addGlobal("asan_indicator", 8);
+        poolInd = as.poolSlotFor("asan_indicator");
+    }
+
+    void
+    mallocTo(RegId dst, int64_t size)
+    {
+        as.movri(RDI, size);
+        as.call(IntrinsicKind::Malloc);
+        as.movrr(dst, RAX);
+    }
+
+    void
+    freeReg(RegId src)
+    {
+        as.movrr(RDI, src);
+        as.call(IntrinsicKind::Free);
+    }
+
+    void
+    indicate(int64_t value)
+    {
+        as.movrm(R11, memRip(poolInd));
+        as.movmi(memAt(R11, 0), value, 8);
+    }
+
+    AttackCase
+    finish(const char *name, Violation expected,
+           uint64_t indicator_expect = 1)
+    {
+        as.hlt();
+        AttackCase out;
+        out.suite = "ASanSuite";
+        out.name = name;
+        out.expected = expected;
+        out.indicatorAddr = indAddr;
+        out.indicatorExpect = indicator_expect;
+        out.program = as.finalize();
+        return out;
+    }
+};
+
+} // anonymous namespace
+
+std::vector<AttackCase>
+asanSuite()
+{
+    std::vector<AttackCase> cases;
+
+    // 1. heap_oob_write: write one element past the end.
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 64);
+        b.as.movmi(memAt(R12, 64), 0x41, 8);
+        b.indicate(1);
+        cases.push_back(b.finish("heap_oob_write",
+                                 Violation::OutOfBounds));
+    }
+
+    // 2. heap_oob_read.
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 64);
+        b.as.movrm(RCX, memAt(R12, 72));
+        b.indicate(1);
+        cases.push_back(b.finish("heap_oob_read",
+                                 Violation::OutOfBounds));
+    }
+
+    // 3. heap_underflow_write: write before the block.
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 64);
+        b.as.movmi(memAt(R12, -8), 0x41, 8);
+        b.indicate(1);
+        cases.push_back(b.finish("heap_underflow_write",
+                                 Violation::OutOfBounds));
+    }
+
+    // 4. tail_magic: one-byte overflow (off-by-one).
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 33);
+        b.as.movmi(memAt(R12, 33), 0x41, 1);
+        b.indicate(1);
+        cases.push_back(b.finish("tail_magic", Violation::OutOfBounds));
+    }
+
+    // 5. use_after_free_read.
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 128);
+        b.freeReg(R12);
+        b.as.movrm(RCX, memAt(R12, 0));
+        b.indicate(1);
+        cases.push_back(b.finish("use_after_free_read",
+                                 Violation::UseAfterFree));
+    }
+
+    // 6. use_after_free_write ("UAF with RB distance").
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 128);
+        b.freeReg(R12);
+        // Allocate some unrelated blocks in between (distance).
+        b.mallocTo(R13, 64);
+        b.mallocTo(R13, 64);
+        b.as.movmi(memAt(R12, 16), 0x42, 8);
+        b.indicate(1);
+        cases.push_back(b.finish("use_after_free_write",
+                                 Violation::UseAfterFree));
+    }
+
+    // 7. double_free.
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 64);
+        b.freeReg(R12);
+        b.freeReg(R12);
+        b.indicate(1);
+        cases.push_back(b.finish("double_free", Violation::DoubleFree));
+    }
+
+    // 8. invalid_free_interior: free(ptr + 8).
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 64);
+        b.as.movrr(RDI, R12);
+        b.as.addri(RDI, 8);
+        b.as.call(IntrinsicKind::Free);
+        b.indicate(1);
+        cases.push_back(b.finish("invalid_free_interior",
+                                 Violation::InvalidFree));
+    }
+
+    // 9. invalid_free_stack: free a stack address (PID 0).
+    {
+        CaseBuilder b;
+        b.as.subri(RSP, 64);
+        b.as.lea(RDI, memAt(RSP, 16));
+        b.as.call(IntrinsicKind::Free);
+        b.indicate(1);
+        cases.push_back(b.finish("invalid_free_stack",
+                                 Violation::InvalidFree));
+    }
+
+    // 10. invalid_free_wild: free a constant integer address.
+    {
+        CaseBuilder b;
+        b.as.movri(RDI, 0x7fff1000);
+        b.as.call(IntrinsicKind::Free);
+        b.indicate(1);
+        cases.push_back(b.finish("invalid_free_wild",
+                                 Violation::InvalidFree));
+    }
+
+    // 11. allocator_returns_null: resource-exhaustion anchor — a
+    // prohibitively large allocation (> 1 GiB cap).
+    {
+        CaseBuilder b;
+        b.as.movri(RDI, 3ll << 30);
+        b.as.call(IntrinsicKind::Malloc);
+        b.indicate(1);
+        cases.push_back(b.finish("allocator_returns_null",
+                                 Violation::OversizeAlloc));
+    }
+
+    // 12. sizes: repeated huge-allocation heap-spray attempt.
+    {
+        CaseBuilder b;
+        auto loop = b.as.newLabel();
+        b.as.movri(RBX, 4);
+        b.as.bind(loop);
+        b.as.movri(RDI, 2ll << 30);
+        b.as.call(IntrinsicKind::Malloc);
+        b.as.subri(RBX, 1);
+        b.as.cmpri(RBX, 0);
+        b.as.jcc(CondCode::NE, loop);
+        b.indicate(1);
+        cases.push_back(b.finish("sizes", Violation::OversizeAlloc));
+    }
+
+    // 13. calloc_overflow: n * size wraps; the capability is sized
+    // by the true request, so touching the block is out of bounds.
+    {
+        CaseBuilder b;
+        b.as.movri(RDI, (1ll << 32) + 1);
+        b.as.movri(RSI, 1ll << 31);
+        b.as.call(IntrinsicKind::Calloc);
+        cases.push_back(b.finish("calloc_overflow",
+                                 Violation::OversizeAlloc, 0));
+    }
+
+    // 14. realloc_uaf: use the stale pointer after realloc moves
+    // the block.
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 64);
+        b.as.movrr(RDI, R12);
+        b.as.movri(RSI, 4096);
+        b.as.call(IntrinsicKind::Realloc);
+        b.as.movrr(R13, RAX);       // new block
+        b.as.movmi(memAt(R12, 0), 0x43, 8); // stale pointer!
+        b.indicate(1);
+        cases.push_back(b.finish("realloc_uaf",
+                                 Violation::UseAfterFree));
+    }
+
+    // 15. realloc_shrink_oob: access beyond the shrunk size.
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 256);
+        b.as.movrr(RDI, R12);
+        b.as.movri(RSI, 32);
+        b.as.call(IntrinsicKind::Realloc);
+        b.as.movrr(R12, RAX);
+        b.as.movmi(memAt(R12, 128), 0x44, 8);
+        b.indicate(1);
+        cases.push_back(b.finish("realloc_shrink_oob",
+                                 Violation::OutOfBounds));
+    }
+
+    // 16. wild_deref: dereference a constant integer address
+    // (Table I rule MOVI: PID(-1)).
+    {
+        CaseBuilder b;
+        b.as.movri(RCX, 0x7fff2000);
+        b.as.movrm(RDX, memAt(RCX, 0));
+        b.indicate(1);
+        cases.push_back(b.finish("wild_deref",
+                                 Violation::WildPointer));
+    }
+
+    // 17. zero_malloc_oob: malloc(0) gives a zero-bounds
+    // capability; any dereference is out of bounds.
+    {
+        CaseBuilder b;
+        b.mallocTo(R12, 0);
+        b.as.movmi(memAt(R12, 0), 0x45, 8);
+        b.indicate(1);
+        cases.push_back(b.finish("zero_malloc_oob",
+                                 Violation::OutOfBounds));
+    }
+
+    // 18. global_oob_write: overflow a global data object (the
+    // symbol-table-seeded capability catches it).
+    {
+        CaseBuilder b;
+        uint64_t g = b.as.addGlobal("asan_global", 40);
+        (void)g;
+        uint64_t pool_g = b.as.poolSlotFor("asan_global");
+        b.as.movrm(R12, memRip(pool_g));
+        b.as.movmi(memAt(R12, 40), 0x46, 8);
+        b.indicate(1);
+        cases.push_back(b.finish("global_oob_write",
+                                 Violation::OutOfBounds));
+    }
+
+    return cases;
+}
+
+} // namespace chex

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * An AddressSanitizer-test-suite-style collection of unit violation
+ * programs (Section VI: "unit test cases that test the ability of
+ * the address sanitizer to flag typical memory safety violations"),
+ * including the two resource-exhaustion cases ("allocator returns
+ * NULL" and "sizes") that CHEx86 flags via the capGen.Begin
+ * maximum-allocation check.
+ */
+
+#ifndef CHEX_ATTACKS_ASAN_SUITE_HH
+#define CHEX_ATTACKS_ASAN_SUITE_HH
+
+#include <vector>
+
+#include "attacks/attack.hh"
+
+namespace chex
+{
+
+/** All ASan-style unit violation cases. */
+std::vector<AttackCase> asanSuite();
+
+} // namespace chex
+
+#endif // CHEX_ATTACKS_ASAN_SUITE_HH

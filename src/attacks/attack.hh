@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Common attack-case representation for the three exploit suites of
+ * Section VI (Security Evaluation): the RIPE-style dimension sweep,
+ * the AddressSanitizer-style unit violations, and the
+ * How2Heap-style heap-metadata exploits. Each case is a complete
+ * simulated program plus the violation class CHEx86 is expected to
+ * anchor on; many cases also write a success indicator to a global
+ * so the harness can confirm that the exploit actually *works*
+ * against the insecure baseline.
+ */
+
+#ifndef CHEX_ATTACKS_ATTACK_HH
+#define CHEX_ATTACKS_ATTACK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cap/capability.hh"
+#include "isa/program.hh"
+
+namespace chex
+{
+
+/** One exploit program with expectations. */
+struct AttackCase
+{
+    std::string suite;   // "RIPE" / "ASanSuite" / "How2Heap"
+    std::string name;
+    Program program;
+
+    /** Violation class CHEx86 should flag (the anchor point). */
+    Violation expected = Violation::None;
+
+    /**
+     * Address of a 64-bit indicator the program sets to a nonzero
+     * value when the exploit's corruption primitive succeeded
+     * (checked after a baseline run); 0 = not applicable.
+     */
+    uint64_t indicatorAddr = 0;
+    uint64_t indicatorExpect = 1;
+};
+
+} // namespace chex
+
+#endif // CHEX_ATTACKS_ATTACK_HH

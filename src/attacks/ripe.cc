@@ -1,0 +1,365 @@
+#include "ripe.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "isa/assembler.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+constexpr uint64_t Secret = 0x11223344aabbccddull;
+
+/** User-pointer to user-pointer distance for adjacent heap chunks
+ *  (mirrors HeapAllocator::chunkSizeFor with ASan disabled). */
+uint64_t
+heapChunkDistance(uint64_t user_size)
+{
+    return std::max<uint64_t>(roundUp(user_size + 16, 16), 32);
+}
+
+std::string
+caseName(const RipeParams &p)
+{
+    std::string name;
+    name += p.location == RipeLocation::Heap ? "heap" : "data";
+    name += p.access == RipeAccess::Write ? "-write" : "-read";
+    name += p.technique == RipeTechnique::Direct ? "-direct"
+                                                 : "-indirect";
+    switch (p.target) {
+      case RipeTarget::FuncPtr: name += "-funcptr"; break;
+      case RipeTarget::DataPtr: name += "-dataptr"; break;
+      case RipeTarget::HeapMetadata: name += "-heapmeta"; break;
+      case RipeTarget::VictimVar: name += "-victim"; break;
+    }
+    switch (p.abuse) {
+      case RipeAbuse::LoopStore: name += "-loop"; break;
+      case RipeAbuse::Strcpy: name += "-strcpy"; break;
+      case RipeAbuse::Memcpy: name += "-memcpy"; break;
+    }
+    name += "-sz" + std::to_string(p.bufferSize);
+    name += "-ov" + std::to_string(p.overflowBytes);
+    return name;
+}
+
+} // anonymous namespace
+
+AttackCase
+buildRipeCase(const RipeParams &p)
+{
+    AttackCase out;
+    out.suite = "RIPE";
+    out.name = caseName(p);
+    out.expected = Violation::OutOfBounds;
+
+    Assembler as;
+    const bool heap = p.location == RipeLocation::Heap;
+    const uint64_t dist = heap ? heapChunkDistance(p.bufferSize)
+                               : roundUp(p.bufferSize, 8);
+    const uint64_t total = dist + 8 + p.overflowBytes;
+
+    // Globals. Order matters: buf then victim must be adjacent for
+    // the Data location; padding absorbs long overflows.
+    uint64_t buf_addr = as.addGlobal("ripe_buf", p.bufferSize);
+    (void)buf_addr;
+    uint64_t victim_addr = as.addGlobal("ripe_victim", 8);
+    as.addGlobal("ripe_padding", 1024);
+    uint64_t benign_addr = as.addGlobal("ripe_benign_obj", 8);
+    uint64_t hijack_addr = as.addGlobal("ripe_hijack", 8);
+    uint64_t dst_addr = as.addGlobal("ripe_dst", 4096);
+    uint64_t ind_addr = as.addGlobal("ripe_indicator", 8);
+    (void)benign_addr;
+    (void)dst_addr;
+
+    uint64_t pool_buf = as.poolSlotFor("ripe_buf");
+    uint64_t pool_victim = as.poolSlotFor("ripe_victim");
+    uint64_t pool_benign = as.poolSlotFor("ripe_benign_obj");
+    uint64_t pool_hijack = as.poolSlotFor("ripe_hijack");
+    uint64_t pool_dst = as.poolSlotFor("ripe_dst");
+    uint64_t pool_ind = as.poolSlotFor("ripe_indicator");
+
+    // Layout: [0] jmp main, then the hijack gadget and the benign
+    // callee at known addresses (both reachable via the corrupted
+    // function pointer).
+    auto main_label = as.newLabel();
+    as.jmp(main_label);
+    uint64_t gadget_addr = layout::CodeBase + as.size() * InstSlotBytes;
+    {
+        // gadget: indicator = 1; exit
+        as.movrm(R11, memRip(pool_ind));
+        as.movmi(memAt(R11, 0), 1, 8);
+        as.hlt();
+    }
+    uint64_t benign_fn_addr = layout::CodeBase + as.size() * InstSlotBytes;
+    {
+        as.ret();
+    }
+
+    as.bind(main_label);
+    as.setEntry(main_label);
+
+    // ---- Obtain buf (R12) and victim (R13) ----
+    if (heap) {
+        as.movri(RDI, static_cast<int64_t>(p.bufferSize));
+        as.call(IntrinsicKind::Malloc);
+        as.movrr(R12, RAX);
+        as.movri(RDI, 8);
+        as.call(IntrinsicKind::Malloc);
+        as.movrr(R13, RAX);
+        as.movri(RDI, 1024); // padding chunk for long overflows
+        as.call(IntrinsicKind::Malloc);
+    } else {
+        as.movrm(R12, memRip(pool_buf));
+        as.movrm(R13, memRip(pool_victim));
+        (void)victim_addr;
+    }
+
+    // ---- Seed the target slot (R15 remembers the original) ----
+    switch (p.target) {
+      case RipeTarget::FuncPtr:
+        as.movri(RCX, static_cast<int64_t>(benign_fn_addr));
+        as.movmr(memAt(R13, 0), RCX);
+        as.movrr(R15, RCX);
+        break;
+      case RipeTarget::DataPtr:
+        as.movrm(RCX, memRip(pool_benign));
+        as.movmr(memAt(R13, 0), RCX);
+        as.movrr(R15, RCX);
+        break;
+      case RipeTarget::HeapMetadata:
+      case RipeTarget::VictimVar:
+        as.movri(RCX, static_cast<int64_t>(Secret));
+        as.movmr(memAt(R13, 0), RCX);
+        as.movrr(R15, RCX);
+        break;
+    }
+    if (p.target == RipeTarget::HeapMetadata) {
+        // Original header of the adjacent chunk: size 32 | IN_USE |
+        // PREV_INUSE (host-computed; reading it would itself be OOB).
+        as.movri(R15, 35);
+    }
+
+    // ---- Fill buf in-bounds (read leaks need nonzero content) ----
+    {
+        auto fill = as.newLabel();
+        auto fill_done = as.newLabel();
+        as.movri(RCX, 0xAA);
+        as.movri(R10, 0);
+        as.bind(fill);
+        as.cmpri(R10, static_cast<int64_t>(p.bufferSize));
+        as.jcc(CondCode::AE, fill_done);
+        as.movmr(memAt(R12, 0, R10, 1), RCX, 1);
+        as.addri(R10, 1);
+        as.jmp(fill);
+        as.bind(fill_done);
+    }
+
+    // Value the overflow plants in the corrupted slot.
+    uint64_t planted = 0;
+    if (p.target == RipeTarget::FuncPtr)
+        planted = gadget_addr;
+    else if (p.technique == RipeTechnique::Indirect)
+        planted = hijack_addr;
+
+    // ---- The overflow itself ----
+    if (p.access == RipeAccess::Write) {
+        switch (p.abuse) {
+          case RipeAbuse::LoopStore: {
+            auto loop = as.newLabel();
+            auto done = as.newLabel();
+            as.movri(RCX, 0xCC);
+            as.movri(R10, 0);
+            as.bind(loop);
+            as.cmpri(R10, static_cast<int64_t>(total));
+            as.jcc(CondCode::AE, done);
+            as.movmr(memAt(R12, 0, R10, 1), RCX, 1);
+            as.addri(R10, 1);
+            as.jmp(loop);
+            as.bind(done);
+            if (planted != 0) {
+                as.movri(RAX, static_cast<int64_t>(planted));
+                as.movmr(memAt(R12, static_cast<int64_t>(dist)), RAX);
+            }
+            break;
+          }
+          case RipeAbuse::Strcpy:
+          case RipeAbuse::Memcpy: {
+            // Host-built payload: 0xCC fill, the planted pointer at
+            // the slot offset, NUL terminator for strcpy.
+            std::vector<uint8_t> payload(total + 8, 0xCC);
+            if (planted != 0) {
+                for (unsigned b = 0; b < 8; ++b)
+                    payload[dist + b] =
+                        static_cast<uint8_t>(planted >> (8 * b));
+            }
+            payload.back() = 0;
+            uint64_t payload_addr =
+                as.addGlobal("ripe_payload", payload.size());
+            as.setInitData(payload_addr, payload);
+            uint64_t pool_payload = as.poolSlotFor("ripe_payload");
+
+            as.movrr(RDI, R12);
+            as.movrm(RSI, memRip(pool_payload));
+            if (p.abuse == RipeAbuse::Strcpy) {
+                as.call(IntrinsicKind::Strcpy);
+            } else {
+                as.movri(RDX, static_cast<int64_t>(total));
+                as.call(IntrinsicKind::Memcpy);
+            }
+            break;
+          }
+        }
+    } else {
+        // Read overruns: leak the adjacent secret.
+        switch (p.abuse) {
+          case RipeAbuse::LoopStore: {
+            // Loop-read past the end, then a quad read of the secret.
+            auto loop = as.newLabel();
+            auto done = as.newLabel();
+            as.movri(RDX, 0);
+            as.movri(R10, 0);
+            as.bind(loop);
+            as.cmpri(R10, static_cast<int64_t>(total));
+            as.jcc(CondCode::AE, done);
+            as.movrm(RCX, memAt(R12, 0, R10, 1), 1);
+            as.addrr(RDX, RCX);
+            as.addri(R10, 1);
+            as.jmp(loop);
+            as.bind(done);
+            as.movrm(RDX, memAt(R12, static_cast<int64_t>(dist)));
+            break;
+          }
+          case RipeAbuse::Strcpy:
+            as.movrm(RDI, memRip(pool_dst));
+            as.movrr(RSI, R12);
+            as.call(IntrinsicKind::Strcpy);
+            as.movrm(RCX, memRip(pool_dst));
+            as.movrm(RDX, memAt(RCX, static_cast<int64_t>(dist)), 4);
+            break;
+          case RipeAbuse::Memcpy:
+            as.movrm(RDI, memRip(pool_dst));
+            as.movrr(RSI, R12);
+            as.movri(RDX, static_cast<int64_t>(total));
+            as.call(IntrinsicKind::Memcpy);
+            as.movrm(RCX, memRip(pool_dst));
+            as.movrm(RDX, memAt(RCX, static_cast<int64_t>(dist)));
+            break;
+        }
+    }
+
+    // ---- Post-exploit verification -> indicator ----
+    as.movri(RAX, 0);
+    auto no_success = as.newLabel();
+    if (p.access == RipeAccess::Read) {
+        // Did we leak the secret?
+        uint64_t expect = p.abuse == RipeAbuse::Strcpy
+                              ? (Secret & 0xffffffffull)
+                              : Secret;
+        as.movri(RCX, static_cast<int64_t>(expect));
+        as.cmprr(RDX, RCX);
+        as.jcc(CondCode::NE, no_success);
+        as.movri(RAX, 1);
+        as.bind(no_success);
+    } else if (p.target == RipeTarget::FuncPtr) {
+        // Hijack: calling through the corrupted pointer reaches the
+        // gadget (which sets the indicator and exits) instead of the
+        // benign callee.
+        as.movrm(RCX, memAt(R13, 0));
+        as.callr(RCX);
+        as.bind(no_success); // benign path: indicator stays 0
+    } else if (p.technique == RipeTechnique::Indirect &&
+               p.target == RipeTarget::DataPtr) {
+        // Write through the corrupted data pointer, then confirm the
+        // hijack target was modified.
+        as.movrm(RCX, memAt(R13, 0));
+        as.movmi(memAt(RCX, 0), 0x41, 8);
+        as.movrm(RBX, memRip(pool_hijack));
+        as.movrm(RDX, memAt(RBX, 0));
+        as.cmpri(RDX, 0x41);
+        as.jcc(CondCode::NE, no_success);
+        as.movri(RAX, 1);
+        as.bind(no_success);
+    } else {
+        // Direct corruption: did the adjacent value change?
+        as.movrm(RDX, memAt(R13, p.target == RipeTarget::HeapMetadata
+                                     ? -8
+                                     : 0));
+        as.cmprr(RDX, R15);
+        as.jcc(CondCode::EQ, no_success);
+        as.movri(RAX, 1);
+        as.bind(no_success);
+    }
+    as.movrm(R11, memRip(pool_ind));
+    as.movmr(memAt(R11, 0), RAX);
+    as.hlt();
+
+    out.program = as.finalize();
+    out.indicatorAddr = ind_addr;
+    return out;
+}
+
+std::vector<AttackCase>
+ripeSweep()
+{
+    std::vector<AttackCase> cases;
+    const uint64_t buffer_sizes[] = {64};
+    const uint64_t overflows[] = {0, 56, 248};
+
+    for (auto loc : {RipeLocation::Heap, RipeLocation::Data}) {
+        for (auto acc : {RipeAccess::Write, RipeAccess::Read}) {
+            for (auto tech :
+                 {RipeTechnique::Direct, RipeTechnique::Indirect}) {
+                for (auto tgt :
+                     {RipeTarget::FuncPtr, RipeTarget::DataPtr,
+                      RipeTarget::HeapMetadata,
+                      RipeTarget::VictimVar}) {
+                    for (auto abuse :
+                         {RipeAbuse::LoopStore, RipeAbuse::Strcpy,
+                          RipeAbuse::Memcpy}) {
+                        for (uint64_t bs : buffer_sizes) {
+                            for (uint64_t ov : overflows) {
+                                // Validity filters (RIPE marks the
+                                // analogous combinations
+                                // "not possible").
+                                if (acc == RipeAccess::Read &&
+                                    (tech != RipeTechnique::Direct ||
+                                     tgt != RipeTarget::VictimVar))
+                                    continue;
+                                if (acc == RipeAccess::Read &&
+                                    abuse == RipeAbuse::Strcpy &&
+                                    loc == RipeLocation::Heap)
+                                    continue;
+                                if (tgt == RipeTarget::HeapMetadata &&
+                                    (loc != RipeLocation::Heap ||
+                                     acc != RipeAccess::Write ||
+                                     tech != RipeTechnique::Direct))
+                                    continue;
+                                if (tech == RipeTechnique::Indirect &&
+                                    tgt == RipeTarget::VictimVar)
+                                    continue;
+                                if (tech == RipeTechnique::Indirect &&
+                                    tgt == RipeTarget::HeapMetadata)
+                                    continue;
+
+                                RipeParams p;
+                                p.location = loc;
+                                p.access = acc;
+                                p.technique = tech;
+                                p.target = tgt;
+                                p.abuse = abuse;
+                                p.bufferSize = bs;
+                                p.overflowBytes = ov;
+                                cases.push_back(buildRipeCase(p));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cases;
+}
+
+} // namespace chex

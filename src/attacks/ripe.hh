@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A RIPE-style exploit generator (Runtime Intrusion Prevention
+ * Evaluator, Wilander et al., ACSAC 2011). The original suite
+ * generates 850 exploits by sweeping five dimensions; this
+ * generator sweeps the analogous dimensions within CHEx86's
+ * object-level heap/global threat model:
+ *
+ *   - buffer location: heap, global data section
+ *   - access: write overflow, read overrun
+ *   - technique: direct (past-the-end access from the overflowed
+ *     buffer) or indirect (first corrupt an adjacent pointer, then
+ *     access through it)
+ *   - target: adjacent function pointer, adjacent data pointer,
+ *     heap chunk metadata, adjacent victim variable
+ *   - abused function: inline store loop, strcpy, memcpy
+ *   - payload size: 1 byte past bounds up to 4x the buffer
+ *
+ * Every generated exploit anchors on an out-of-bounds access, which
+ * is where CHEx86 flags it (Section VII-A).
+ */
+
+#ifndef CHEX_ATTACKS_RIPE_HH
+#define CHEX_ATTACKS_RIPE_HH
+
+#include <vector>
+
+#include "attacks/attack.hh"
+
+namespace chex
+{
+
+/** RIPE sweep dimensions. */
+enum class RipeLocation : uint8_t { Heap, Data };
+enum class RipeAccess : uint8_t { Write, Read };
+enum class RipeTechnique : uint8_t { Direct, Indirect };
+enum class RipeTarget : uint8_t
+{
+    FuncPtr,
+    DataPtr,
+    HeapMetadata,
+    VictimVar,
+};
+enum class RipeAbuse : uint8_t { LoopStore, Strcpy, Memcpy };
+
+/** Parameters of one RIPE point. */
+struct RipeParams
+{
+    RipeLocation location = RipeLocation::Heap;
+    RipeAccess access = RipeAccess::Write;
+    RipeTechnique technique = RipeTechnique::Direct;
+    RipeTarget target = RipeTarget::VictimVar;
+    RipeAbuse abuse = RipeAbuse::LoopStore;
+    uint64_t bufferSize = 64;
+    uint64_t overflowBytes = 16; // bytes past the end
+};
+
+/** Build one exploit program for @p params. */
+AttackCase buildRipeCase(const RipeParams &params);
+
+/** The full sweep (valid combinations only). */
+std::vector<AttackCase> ripeSweep();
+
+} // namespace chex
+
+#endif // CHEX_ATTACKS_RIPE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small integer-math helpers shared across the simulator.
+ */
+
+#ifndef CHEX_BASE_INTMATH_HH
+#define CHEX_BASE_INTMATH_HH
+
+#include <cstdint>
+
+namespace chex
+{
+
+/** True iff @p n is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log2(n); n must be nonzero. */
+constexpr unsigned
+floorLog2(uint64_t n)
+{
+    unsigned lg = 0;
+    while (n >>= 1)
+        ++lg;
+    return lg;
+}
+
+/** Ceiling of log2(n); n must be nonzero. */
+constexpr unsigned
+ceilLog2(uint64_t n)
+{
+    return floorLog2(n) + (isPowerOf2(n) ? 0 : 1);
+}
+
+/** Ceiling division for nonnegative integers. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p n up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t n, uint64_t align)
+{
+    return (n + align - 1) & ~(align - 1);
+}
+
+/** Round @p n down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+roundDown(uint64_t n, uint64_t align)
+{
+    return n & ~(align - 1);
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned last, unsigned first)
+{
+    unsigned nbits = last - first + 1;
+    uint64_t mask = (nbits >= 64) ? ~0ull : ((1ull << nbits) - 1);
+    return (val >> first) & mask;
+}
+
+} // namespace chex
+
+#endif // CHEX_BASE_INTMATH_HH

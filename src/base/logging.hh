@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 idiom.
+ *
+ * panic()  — an internal simulator invariant was violated (a bug in
+ *            this code base); aborts.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments); exits with code 1.
+ * warn()   — something works but imperfectly; execution continues.
+ * inform() — status message with no negative connotation.
+ */
+
+#ifndef CHEX_BASE_LOGGING_HH
+#define CHEX_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace chex
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Get the process-wide log level (default: Warn). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** va_list variant of csprintf. */
+std::string vcsprintf(const char *fmt, va_list args);
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void debugImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace chex
+
+#define chex_panic(...) \
+    ::chex::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define chex_fatal(...) \
+    ::chex::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+#define chex_warn(...) ::chex::warnImpl(__VA_ARGS__)
+
+#define chex_inform(...) ::chex::informImpl(__VA_ARGS__)
+
+#define chex_debug(...) ::chex::debugImpl(__VA_ARGS__)
+
+/** Assertion that survives NDEBUG builds; panics on failure. */
+#define chex_assert(cond, ...)                                         \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::chex::panicImpl(__FILE__, __LINE__,                      \
+                              "assertion failed: %s", #cond);          \
+        }                                                              \
+    } while (0)
+
+#endif // CHEX_BASE_LOGGING_HH

@@ -1,0 +1,118 @@
+#include "random.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Random::Random(uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Random::seed(uint64_t seed_value)
+{
+    uint64_t x = seed_value;
+    for (auto &word : s)
+        word = splitmix64(x);
+}
+
+uint64_t
+Random::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Random::uniform(uint64_t lo, uint64_t hi)
+{
+    chex_assert(lo <= hi, "uniform: lo > hi");
+    uint64_t span = hi - lo;
+    if (span == UINT64_MAX)
+        return next();
+    return lo + next() % (span + 1);
+}
+
+double
+Random::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Random::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+uint64_t
+Random::skewedSize(uint64_t lo, uint64_t hi)
+{
+    chex_assert(lo <= hi && lo > 0, "skewedSize: bad range");
+    // Draw the exponent uniformly so each power-of-two size class is
+    // equally likely; real heaps skew heavily toward small blocks.
+    double lg_lo = std::log2(static_cast<double>(lo));
+    double lg_hi = std::log2(static_cast<double>(hi));
+    double lg = lg_lo + uniformReal() * (lg_hi - lg_lo);
+    uint64_t size = static_cast<uint64_t>(std::llround(std::exp2(lg)));
+    if (size < lo)
+        size = lo;
+    if (size > hi)
+        size = hi;
+    return size;
+}
+
+size_t
+Random::weightedIndex(const std::vector<double> &weights)
+{
+    chex_assert(!weights.empty(), "weightedIndex: empty weights");
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    chex_assert(total > 0.0, "weightedIndex: nonpositive total");
+    double draw = uniformReal() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (draw < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace chex

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation.
+ *
+ * All stochastic behaviour in the simulator (workload generation,
+ * access-pattern noise, allocation size draws) flows through this
+ * generator so that every run is exactly reproducible from a seed.
+ * The core is xoshiro256**, which is fast, has a 256-bit state, and
+ * passes BigCrush.
+ */
+
+#ifndef CHEX_BASE_RANDOM_HH
+#define CHEX_BASE_RANDOM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chex
+{
+
+/** Deterministic xoshiro256** PRNG with convenience draws. */
+class Random
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator. */
+    void seed(uint64_t seed);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    uint64_t uniform(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Geometric-ish size draw used for allocation sizes: uniform
+     * within [lo, hi] but biased toward small values, matching the
+     * heavy small-allocation skew of real heap profiles.
+     */
+    uint64_t skewedSize(uint64_t lo, uint64_t hi);
+
+    /** Pick an index in [0, weights.size()) proportionally. */
+    size_t weightedIndex(const std::vector<double> &weights);
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace chex
+
+#endif // CHEX_BASE_RANDOM_HH

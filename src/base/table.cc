@@ -1,0 +1,80 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace chex
+{
+
+Table::Table(std::vector<std::string> headers_in)
+    : headers(std::move(headers_in))
+{
+    chex_assert(!headers.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    chex_assert(cells.size() == headers.size(),
+                "row arity mismatches header");
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&](char fill) {
+        os << '+';
+        for (size_t w : widths) {
+            for (size_t i = 0; i < w + 2; ++i)
+                os << fill;
+            os << '+';
+        }
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c];
+            for (size_t i = cells[c].size(); i < widths[c] + 1; ++i)
+                os << ' ';
+            os << '|';
+        }
+        os << '\n';
+    };
+
+    rule('-');
+    line(headers);
+    rule('=');
+    for (const auto &row : rows)
+        line(row);
+    rule('-');
+}
+
+} // namespace chex

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ASCII table rendering used by the benchmark harnesses to print
+ * paper-style rows (figures rendered as tables of series).
+ */
+
+#ifndef CHEX_BASE_TABLE_HH
+#define CHEX_BASE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace chex
+{
+
+/** A simple column-aligned ASCII table. */
+class Table
+{
+  public:
+    /** @param headers Column titles, fixed for the table's life. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with box-drawing separators. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace chex
+
+#endif // CHEX_BASE_TABLE_HH

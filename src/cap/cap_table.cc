@@ -1,0 +1,240 @@
+#include "cap_table.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+CapabilityTable::CapabilityTable() = default;
+
+Pid
+CapabilityTable::beginGeneration(uint64_t request_size,
+                                 Violation *violation)
+{
+    if (violation)
+        *violation = Violation::None;
+    if (request_size > maxAllocSize) {
+        if (violation)
+            *violation = Violation::OversizeAlloc;
+        return NoPid;
+    }
+    Pid pid = nextPid++;
+    Capability cap;
+    cap.bounds = static_cast<uint32_t>(request_size);
+    cap.perms = CapBusy | CapRead | CapWrite | CapHeap;
+    caps[pid] = cap;
+    return pid;
+}
+
+void
+CapabilityTable::endGeneration(Pid pid, uint64_t base)
+{
+    auto it = caps.find(pid);
+    if (it == caps.end())
+        return;
+    Capability &cap = it->second;
+    cap.base = base;
+    cap.perms &= ~CapBusy;
+    if (base != 0) {
+        cap.perms |= CapValid;
+        liveByBase[base] = pid;
+        ++liveCount;
+    }
+}
+
+Violation
+CapabilityTable::beginFree(Pid pid, uint64_t addr)
+{
+    if (pid == NoPid || pid == WildPid)
+        return Violation::InvalidFree;
+    auto it = caps.find(pid);
+    if (it == caps.end())
+        return Violation::InvalidFree;
+    Capability &cap = it->second;
+    if (!(cap.perms & CapHeap))
+        return Violation::InvalidFree; // e.g. freeing a global
+    if (!cap.valid())
+        return Violation::DoubleFree;
+    if (addr != cap.base)
+        return Violation::InvalidFree; // freeing an interior pointer
+    cap.perms |= CapBusy;
+    return Violation::None;
+}
+
+void
+CapabilityTable::endFree(Pid pid)
+{
+    auto it = caps.find(pid);
+    if (it == caps.end())
+        return;
+    Capability &cap = it->second;
+    bool was_valid = cap.valid();
+    cap.perms &= ~(CapValid | CapBusy);
+    if (was_valid) {
+        liveByBase.erase(cap.base);
+        freedByBase[cap.base] = it->first;
+        --liveCount;
+    }
+}
+
+Pid
+CapabilityTable::addGlobal(const std::string &name, uint64_t base,
+                           uint64_t size)
+{
+    (void)name;
+    Pid pid = nextPid++;
+    Capability cap;
+    cap.base = base;
+    cap.bounds = static_cast<uint32_t>(size);
+    cap.perms = CapValid | CapRead | CapWrite;
+    caps[pid] = cap;
+    liveByBase[base] = pid;
+    ++liveCount;
+    return pid;
+}
+
+CheckResult
+CapabilityTable::check(Pid pid, uint64_t addr, uint64_t size,
+                       bool is_write) const
+{
+    CheckResult result;
+    if (pid == NoPid)
+        return result; // untracked pointer: no check to perform
+    if (pid == WildPid) {
+        result.violation = Violation::WildPointer;
+        return result;
+    }
+    auto it = caps.find(pid);
+    if (it == caps.end()) {
+        result.violation = Violation::WildPointer;
+        return result;
+    }
+    const Capability &cap = it->second;
+    if (!cap.valid()) {
+        result.violation = Violation::UseAfterFree;
+        return result;
+    }
+    if (!cap.contains(addr, size)) {
+        result.violation = Violation::OutOfBounds;
+        return result;
+    }
+    if (is_write && !cap.writable()) {
+        result.violation = Violation::PermissionDenied;
+        return result;
+    }
+    if (!is_write && !cap.readable()) {
+        result.violation = Violation::PermissionDenied;
+        return result;
+    }
+    return result;
+}
+
+const Capability *
+CapabilityTable::find(Pid pid) const
+{
+    auto it = caps.find(pid);
+    return it == caps.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+Pid
+searchByBase(const std::map<uint64_t, Pid> &index,
+             const std::unordered_map<Pid, Capability> &caps,
+             uint64_t addr)
+{
+    auto it = index.upper_bound(addr);
+    if (it == index.begin())
+        return NoPid;
+    --it;
+    auto cit = caps.find(it->second);
+    if (cit == caps.end())
+        return NoPid;
+    const Capability &cap = cit->second;
+    if (addr >= cap.base && addr < cap.base + cap.bounds)
+        return it->second;
+    return NoPid;
+}
+
+} // anonymous namespace
+
+Pid
+CapabilityTable::pidForAddress(uint64_t addr) const
+{
+    if (Pid pid = searchByBase(liveByBase, caps, addr))
+        return pid;
+    return searchByBase(freedByBase, caps, addr);
+}
+
+void
+CapabilityTable::markInitialized(Pid pid, uint64_t addr, uint64_t size)
+{
+    if (!trackInit || pid == NoPid || pid == WildPid)
+        return;
+    auto cit = caps.find(pid);
+    if (cit == caps.end() || !cit->second.valid())
+        return;
+    const Capability &cap = cit->second;
+    if (addr < cap.base || addr >= cap.base + cap.bounds)
+        return;
+    uint64_t first_word = (addr - cap.base) / 8;
+    uint64_t last_word = (addr + std::max<uint64_t>(size, 1) - 1 -
+                          cap.base) / 8;
+    auto &bits = initBits[pid];
+    uint64_t need = (cap.bounds + 63) / 64 + 1;
+    if (bits.size() < need)
+        bits.resize(need, 0);
+    for (uint64_t w = first_word; w <= last_word; ++w)
+        bits[w / 64] |= 1ull << (w % 64);
+}
+
+void
+CapabilityTable::markAllInitialized(Pid pid)
+{
+    if (!trackInit)
+        return;
+    auto cit = caps.find(pid);
+    if (cit == caps.end())
+        return;
+    auto &bits = initBits[pid];
+    bits.assign((cit->second.bounds + 63) / 64 + 1, ~0ull);
+}
+
+bool
+CapabilityTable::isInitialized(Pid pid, uint64_t addr,
+                               uint64_t size) const
+{
+    auto cit = caps.find(pid);
+    if (cit == caps.end())
+        return true;
+    const Capability &cap = cit->second;
+    auto bit = initBits.find(pid);
+    if (bit == initBits.end())
+        return false;
+    const auto &bits = bit->second;
+    uint64_t first_word = (addr - cap.base) / 8;
+    uint64_t last_word =
+        (addr + std::max<uint64_t>(size, 1) - 1 - cap.base) / 8;
+    for (uint64_t w = first_word; w <= last_word; ++w) {
+        if (w / 64 >= bits.size() ||
+            !(bits[w / 64] & (1ull << (w % 64))))
+            return false;
+    }
+    return true;
+}
+
+void
+CapabilityTable::clear()
+{
+    caps.clear();
+    liveByBase.clear();
+    freedByBase.clear();
+    initBits.clear();
+    nextPid = 1;
+    liveCount = 0;
+}
+
+} // namespace chex

@@ -1,0 +1,23 @@
+#include "capability.hh"
+
+namespace chex
+{
+
+const char *
+violationName(Violation v)
+{
+    switch (v) {
+      case Violation::None: return "none";
+      case Violation::OutOfBounds: return "out-of-bounds";
+      case Violation::UseAfterFree: return "use-after-free";
+      case Violation::DoubleFree: return "double-free";
+      case Violation::InvalidFree: return "invalid-free";
+      case Violation::PermissionDenied: return "permission-denied";
+      case Violation::WildPointer: return "wild-pointer";
+      case Violation::OversizeAlloc: return "oversize-alloc";
+      case Violation::UninitializedRead: return "uninitialized-read";
+      default: return "???";
+    }
+}
+
+} // namespace chex

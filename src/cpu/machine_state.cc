@@ -1,0 +1,161 @@
+#include "machine_state.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+uint64_t
+MachineState::effectiveAddr(const MemOperand &m) const
+{
+    if (m.ripRelative)
+        return static_cast<uint64_t>(m.disp);
+    uint64_t addr = static_cast<uint64_t>(m.disp);
+    if (m.hasBase())
+        addr += reg(m.base);
+    if (m.hasIndex())
+        addr += reg(m.index) * m.scale;
+    return addr;
+}
+
+namespace
+{
+
+double
+asDouble(uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+uint64_t
+asBits(double d)
+{
+    return std::bit_cast<uint64_t>(d);
+}
+
+} // anonymous namespace
+
+UopEffect
+MachineState::execute(const StaticUop &uop, uint64_t direct_target)
+{
+    UopEffect eff;
+
+    uint64_t a = uop.src1 != REG_NONE ? reg(uop.src1) : 0;
+    uint64_t b = uop.useImm ? static_cast<uint64_t>(uop.imm)
+                            : (uop.src2 != REG_NONE ? reg(uop.src2) : 0);
+
+    switch (uop.type) {
+      case UopType::Nop:
+        break;
+
+      case UopType::IntAlu:
+      case UopType::IntMult:
+      case UopType::IntDiv:
+        switch (uop.op) {
+          case AluOp::Mov: eff.value = uop.useImm ? b : a; break;
+          case AluOp::Add: eff.value = a + b; break;
+          case AluOp::Sub: eff.value = a - b; break;
+          case AluOp::And: eff.value = a & b; break;
+          case AluOp::Or: eff.value = a | b; break;
+          case AluOp::Xor: eff.value = a ^ b; break;
+          case AluOp::Shl: eff.value = a << (b & 63); break;
+          case AluOp::Shr: eff.value = a >> (b & 63); break;
+          case AluOp::Mul: eff.value = a * b; break;
+          case AluOp::Cmp: eff.value = encodeFlags(a, b); break;
+          case AluOp::Test: eff.value = encodeFlags(a & b, 0); break;
+          default:
+            chex_panic("bad int alu op");
+        }
+        if (uop.dst != REG_NONE)
+            setReg(uop.dst, eff.value);
+        break;
+
+      case UopType::FpAlu:
+      case UopType::FpMult:
+      case UopType::FpDiv:
+        switch (uop.op) {
+          case AluOp::Mov: eff.value = a; break;
+          case AluOp::FAdd:
+            eff.value = asBits(asDouble(a) + asDouble(b));
+            break;
+          case AluOp::FMul:
+            eff.value = asBits(asDouble(a) * asDouble(b));
+            break;
+          case AluOp::FDiv:
+            eff.value = asBits(asDouble(a) /
+                               (asDouble(b) == 0.0 ? 1.0 : asDouble(b)));
+            break;
+          case AluOp::FCvt:
+            eff.value = asBits(static_cast<double>(
+                static_cast<int64_t>(a)));
+            break;
+          default:
+            chex_panic("bad fp op");
+        }
+        if (uop.dst != REG_NONE)
+            setReg(uop.dst, eff.value);
+        break;
+
+      case UopType::Lea:
+        eff.effAddr = effectiveAddr(uop.mem);
+        eff.hasAddr = true;
+        eff.value = eff.effAddr;
+        if (uop.dst != REG_NONE)
+            setReg(uop.dst, eff.value);
+        break;
+
+      case UopType::LoadImm:
+        eff.value = static_cast<uint64_t>(uop.imm);
+        if (uop.dst != REG_NONE)
+            setReg(uop.dst, eff.value);
+        break;
+
+      case UopType::Load:
+        eff.effAddr = effectiveAddr(uop.mem);
+        eff.hasAddr = true;
+        eff.value = mem.read(eff.effAddr, uop.memSize);
+        if (uop.dst != REG_NONE)
+            setReg(uop.dst, eff.value);
+        break;
+
+      case UopType::Store:
+        eff.effAddr = effectiveAddr(uop.mem);
+        eff.hasAddr = true;
+        eff.value = a;
+        mem.write(eff.effAddr, a, uop.memSize);
+        break;
+
+      case UopType::Branch:
+        eff.isBranch = true;
+        if (uop.indirect) {
+            eff.branchTaken = true;
+            eff.branchTarget = a;
+        } else if (uop.cc == CondCode::None) {
+            eff.branchTaken = true;
+            eff.branchTarget = direct_target;
+        } else {
+            eff.branchTaken = testCond(reg(FLAGS), uop.cc);
+            eff.branchTarget = direct_target;
+        }
+        break;
+
+      case UopType::CapGenBegin:
+      case UopType::CapGenEnd:
+      case UopType::CapCheck:
+      case UopType::CapFreeBegin:
+      case UopType::CapFreeEnd:
+        // Capability micro-ops operate on shadow state; the System
+        // evaluates them (they have no architectural register
+        // effects).
+        break;
+
+      default:
+        chex_panic("execute: unhandled uop type");
+    }
+
+    return eff;
+}
+
+} // namespace chex

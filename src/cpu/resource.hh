@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A resource calendar: models a per-cycle-width-limited structural
+ * resource (issue ports, functional units, commit bandwidth) for the
+ * forward-only timing calculator. Reservations always move forward
+ * in time, so the calendar is a sliding ring buffer.
+ */
+
+#ifndef CHEX_CPU_RESOURCE_HH
+#define CHEX_CPU_RESOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+/** Sliding-window per-cycle slot reservation. */
+class ResourceCalendar
+{
+  public:
+    /**
+     * @param width Slots available per cycle.
+     * @param horizon Ring size in cycles; reservations further than
+     *        this past the frontier trigger a slide.
+     */
+    explicit ResourceCalendar(unsigned width, unsigned horizon = 1024)
+        : _width(width), used(horizon, 0)
+    {
+        chex_assert(width > 0 && horizon > 0, "bad calendar");
+    }
+
+    /**
+     * Reserve one slot at the earliest cycle >= @p earliest.
+     * @return the reserved cycle.
+     */
+    uint64_t
+    reserve(uint64_t earliest)
+    {
+        if (earliest < base)
+            earliest = base;
+        slideTo(earliest);
+        uint64_t cycle = earliest;
+        while (used[index(cycle)] >= _width) {
+            ++cycle;
+            slideTo(cycle);
+        }
+        ++used[index(cycle)];
+        return cycle;
+    }
+
+    unsigned width() const { return _width; }
+
+    void
+    reset()
+    {
+        std::fill(used.begin(), used.end(), 0);
+        base = 0;
+    }
+
+  private:
+    size_t index(uint64_t cycle) const { return cycle % used.size(); }
+
+    void
+    slideTo(uint64_t cycle)
+    {
+        // Clear slots that fall out of the window as time advances.
+        if (cycle < base + used.size())
+            return;
+        uint64_t new_base = cycle - used.size() + 1;
+        for (uint64_t c = base; c < new_base; ++c)
+            used[index(c)] = 0;
+        base = new_base;
+    }
+
+    unsigned _width;
+    std::vector<uint8_t> used;
+    uint64_t base = 0;
+};
+
+/**
+ * A sliding history of per-entry cycles used to model a finite
+ * in-order-allocated structure (ROB, IQ, LQ, SQ): entry i is freed
+ * when record(i - capacity) releases; dispatch must wait for it.
+ */
+class OccupancyWindow
+{
+  public:
+    explicit OccupancyWindow(unsigned capacity)
+        : cap(capacity), releaseCycles(capacity, 0)
+    {
+        chex_assert(capacity > 0, "bad occupancy window");
+    }
+
+    /**
+     * Allocate the next entry; returns the earliest cycle at which a
+     * slot is free (the release cycle of the entry `capacity` ago).
+     * Call release() afterwards with this entry's own release cycle.
+     */
+    uint64_t
+    allocBound() const
+    {
+        return releaseCycles[head % cap];
+    }
+
+    /** Record the release cycle of the entry just allocated. */
+    void
+    push(uint64_t release_cycle)
+    {
+        releaseCycles[head % cap] = release_cycle;
+        ++head;
+    }
+
+    unsigned capacity() const { return cap; }
+
+    void
+    reset()
+    {
+        std::fill(releaseCycles.begin(), releaseCycles.end(), 0);
+        head = 0;
+    }
+
+  private:
+    unsigned cap;
+    std::vector<uint64_t> releaseCycles;
+    uint64_t head = 0;
+};
+
+} // namespace chex
+
+#endif // CHEX_CPU_RESOURCE_HH

@@ -1,0 +1,473 @@
+#include "assembler.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace chex
+{
+
+MemOperand
+memAt(RegId base, int64_t disp, RegId index, uint8_t scale)
+{
+    MemOperand m;
+    m.base = base;
+    m.disp = disp;
+    m.index = index;
+    m.scale = scale;
+    return m;
+}
+
+MemOperand
+memAbs(uint64_t addr)
+{
+    MemOperand m;
+    m.disp = static_cast<int64_t>(addr);
+    return m;
+}
+
+MemOperand
+memRip(uint64_t addr)
+{
+    MemOperand m;
+    m.disp = static_cast<int64_t>(addr);
+    m.ripRelative = true;
+    return m;
+}
+
+Assembler::Assembler() = default;
+
+Assembler::Label
+Assembler::newLabel()
+{
+    labelTargets.push_back(-1);
+    return labelTargets.size() - 1;
+}
+
+void
+Assembler::bind(Label label)
+{
+    chex_assert(label < labelTargets.size(), "unknown label");
+    chex_assert(labelTargets[label] < 0, "label bound twice");
+    labelTargets[label] = static_cast<int64_t>(insts.size());
+}
+
+uint64_t
+Assembler::addGlobal(const std::string &name, uint64_t size)
+{
+    uint64_t addr = layout::DataBase + nextDataOffset;
+    nextDataOffset += roundUp(std::max<uint64_t>(size, 8), 8);
+    symbols.push_back({name, addr, size});
+    return addr;
+}
+
+uint64_t
+Assembler::poolSlotFor(const std::string &name)
+{
+    auto it = poolSlots.find(name);
+    if (it != poolSlots.end())
+        return it->second;
+
+    const Symbol *sym = nullptr;
+    for (const auto &s : symbols)
+        if (s.name == name)
+            sym = &s;
+    chex_assert(sym, "poolSlotFor: unknown global");
+
+    uint64_t slot_addr = layout::PoolBase + nextPoolOffset;
+    nextPoolOffset += 8;
+    pool.push_back({slot_addr, sym->addr, name});
+    poolSlots[name] = slot_addr;
+    return slot_addr;
+}
+
+void
+Assembler::setInitData(uint64_t addr, std::vector<uint8_t> bytes)
+{
+    initBlobs.push_back({addr, std::move(bytes)});
+}
+
+void
+Assembler::setInitWords(uint64_t addr, const std::vector<uint64_t> &words)
+{
+    std::vector<uint8_t> bytes(words.size() * 8);
+    std::memcpy(bytes.data(), words.data(), bytes.size());
+    setInitData(addr, std::move(bytes));
+}
+
+MacroInst &
+Assembler::emit(MacroOpcode op)
+{
+    chex_assert(!finalized, "emit after finalize");
+    insts.emplace_back();
+    insts.back().opcode = op;
+    return insts.back();
+}
+
+void Assembler::nop() { emit(MacroOpcode::NOP); }
+
+void
+Assembler::movrr(RegId dst, RegId src)
+{
+    auto &i = emit(MacroOpcode::MOV_RR);
+    i.dst = dst;
+    i.src = src;
+}
+
+void
+Assembler::movri(RegId dst, int64_t imm)
+{
+    auto &i = emit(MacroOpcode::MOV_RI);
+    i.dst = dst;
+    i.imm = imm;
+}
+
+void
+Assembler::movrm(RegId dst, const MemOperand &mem, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::MOV_RM);
+    i.dst = dst;
+    i.mem = mem;
+    i.size = size;
+}
+
+void
+Assembler::movmr(const MemOperand &mem, RegId src, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::MOV_MR);
+    i.src = src;
+    i.mem = mem;
+    i.size = size;
+}
+
+void
+Assembler::movmi(const MemOperand &mem, int64_t imm, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::MOV_MI);
+    i.imm = imm;
+    i.mem = mem;
+    i.size = size;
+}
+
+void
+Assembler::lea(RegId dst, const MemOperand &mem)
+{
+    auto &i = emit(MacroOpcode::LEA);
+    i.dst = dst;
+    i.mem = mem;
+}
+
+void
+Assembler::pushr(RegId src)
+{
+    auto &i = emit(MacroOpcode::PUSH_R);
+    i.src = src;
+}
+
+void
+Assembler::popr(RegId dst)
+{
+    auto &i = emit(MacroOpcode::POP_R);
+    i.dst = dst;
+}
+
+void
+Assembler::xchgrr(RegId a, RegId b)
+{
+    auto &i = emit(MacroOpcode::XCHG_RR);
+    i.dst = a;
+    i.src = b;
+}
+
+namespace
+{
+
+void
+rrForm(MacroInst &i, RegId dst, RegId src)
+{
+    i.dst = dst;
+    i.src = src;
+}
+
+void
+riForm(MacroInst &i, RegId dst, int64_t imm)
+{
+    i.dst = dst;
+    i.imm = imm;
+}
+
+} // anonymous namespace
+
+void Assembler::addrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::ADD_RR), d, s); }
+void Assembler::addri(RegId d, int64_t v) { riForm(emit(MacroOpcode::ADD_RI), d, v); }
+
+void
+Assembler::addrm(RegId dst, const MemOperand &mem, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::ADD_RM);
+    i.dst = dst;
+    i.mem = mem;
+    i.size = size;
+}
+
+void
+Assembler::addmr(const MemOperand &mem, RegId src, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::ADD_MR);
+    i.src = src;
+    i.mem = mem;
+    i.size = size;
+}
+
+void
+Assembler::addmi(const MemOperand &mem, int64_t imm, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::ADD_MI);
+    i.imm = imm;
+    i.mem = mem;
+    i.size = size;
+}
+
+void Assembler::subrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::SUB_RR), d, s); }
+void Assembler::subri(RegId d, int64_t v) { riForm(emit(MacroOpcode::SUB_RI), d, v); }
+void Assembler::andrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::AND_RR), d, s); }
+void Assembler::andri(RegId d, int64_t v) { riForm(emit(MacroOpcode::AND_RI), d, v); }
+void Assembler::orrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::OR_RR), d, s); }
+void Assembler::orri(RegId d, int64_t v) { riForm(emit(MacroOpcode::OR_RI), d, v); }
+void Assembler::xorrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::XOR_RR), d, s); }
+void Assembler::xorri(RegId d, int64_t v) { riForm(emit(MacroOpcode::XOR_RI), d, v); }
+void Assembler::shlri(RegId d, int64_t v) { riForm(emit(MacroOpcode::SHL_RI), d, v); }
+void Assembler::shrri(RegId d, int64_t v) { riForm(emit(MacroOpcode::SHR_RI), d, v); }
+void Assembler::imulrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::IMUL_RR), d, s); }
+void Assembler::imulri(RegId d, int64_t v) { riForm(emit(MacroOpcode::IMUL_RI), d, v); }
+
+void
+Assembler::incm(const MemOperand &mem, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::INC_M);
+    i.mem = mem;
+    i.size = size;
+}
+
+void
+Assembler::decm(const MemOperand &mem, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::DEC_M);
+    i.mem = mem;
+    i.size = size;
+}
+
+void Assembler::cmprr(RegId a, RegId b) { rrForm(emit(MacroOpcode::CMP_RR), a, b); }
+void Assembler::cmpri(RegId a, int64_t v) { riForm(emit(MacroOpcode::CMP_RI), a, v); }
+
+void
+Assembler::cmprm(RegId a, const MemOperand &mem, uint8_t size)
+{
+    auto &i = emit(MacroOpcode::CMP_RM);
+    i.dst = a;
+    i.mem = mem;
+    i.size = size;
+}
+
+void Assembler::testrr(RegId a, RegId b) { rrForm(emit(MacroOpcode::TEST_RR), a, b); }
+void Assembler::testri(RegId a, int64_t v) { riForm(emit(MacroOpcode::TEST_RI), a, v); }
+
+void Assembler::fmovrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::FMOV_RR), d, s); }
+
+void
+Assembler::fmovrm(RegId dst, const MemOperand &mem)
+{
+    auto &i = emit(MacroOpcode::FMOV_RM);
+    i.dst = dst;
+    i.mem = mem;
+}
+
+void
+Assembler::fmovmr(const MemOperand &mem, RegId src)
+{
+    auto &i = emit(MacroOpcode::FMOV_MR);
+    i.src = src;
+    i.mem = mem;
+}
+
+void Assembler::faddrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::FADD_RR), d, s); }
+void Assembler::fmulrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::FMUL_RR), d, s); }
+void Assembler::fdivrr(RegId d, RegId s) { rrForm(emit(MacroOpcode::FDIV_RR), d, s); }
+void Assembler::fcvtri(RegId d, RegId s) { rrForm(emit(MacroOpcode::FCVT_RI), d, s); }
+
+void
+Assembler::jmp(Label target)
+{
+    emit(MacroOpcode::JMP);
+    fixups.push_back({insts.size() - 1, target});
+}
+
+void
+Assembler::jmpr(RegId target)
+{
+    auto &i = emit(MacroOpcode::JMP_R);
+    i.src = target;
+}
+
+void
+Assembler::jcc(CondCode cc, Label target)
+{
+    auto &i = emit(MacroOpcode::JCC);
+    i.cc = cc;
+    fixups.push_back({insts.size() - 1, target});
+}
+
+void
+Assembler::call(IntrinsicKind kind)
+{
+    emit(MacroOpcode::CALL);
+    callFixups.push_back({insts.size() - 1, kind});
+}
+
+void
+Assembler::callLabel(Label target)
+{
+    emit(MacroOpcode::CALL);
+    fixups.push_back({insts.size() - 1, target});
+}
+
+void
+Assembler::callr(RegId target)
+{
+    auto &i = emit(MacroOpcode::CALL_R);
+    i.src = target;
+}
+
+void Assembler::ret() { emit(MacroOpcode::RET); }
+void Assembler::hlt() { emit(MacroOpcode::HLT); }
+
+void
+Assembler::setEntry(Label label)
+{
+    entryLabel = label;
+}
+
+void
+Assembler::emitLibraryBody(IntrinsicKind kind)
+{
+    // Real instruction loops for the string/memory routines, so that
+    // their loads and stores flow through the normal protection
+    // machinery exactly like application code (R10/R11 are the
+    // library-scratch registers of our calling convention).
+    switch (kind) {
+      case IntrinsicKind::Strcpy: {
+        Label loop = newLabel();
+        movri(R10, 0);
+        bind(loop);
+        movrm(R11, memAt(RSI, 0, R10, 1), 1);
+        movmr(memAt(RDI, 0, R10, 1), R11, 1);
+        addri(R10, 1);
+        cmpri(R11, 0);
+        jcc(CondCode::NE, loop);
+        movrr(RAX, RDI);
+        ret();
+        break;
+      }
+      case IntrinsicKind::Memcpy: {
+        Label loop = newLabel();
+        Label done = newLabel();
+        movri(R10, 0);
+        bind(loop);
+        cmprr(R10, RDX);
+        jcc(CondCode::AE, done);
+        movrm(R11, memAt(RSI, 0, R10, 1), 1);
+        movmr(memAt(RDI, 0, R10, 1), R11, 1);
+        addri(R10, 1);
+        jmp(loop);
+        bind(done);
+        movrr(RAX, RDI);
+        ret();
+        break;
+      }
+      case IntrinsicKind::Memset: {
+        Label loop = newLabel();
+        Label done = newLabel();
+        movri(R10, 0);
+        bind(loop);
+        cmprr(R10, RDX);
+        jcc(CondCode::AE, done);
+        movmr(memAt(RDI, 0, R10, 1), RSI, 1);
+        addri(R10, 1);
+        jmp(loop);
+        bind(done);
+        movrr(RAX, RDI);
+        ret();
+        break;
+      }
+      default:
+        chex_panic("no library body for this intrinsic");
+    }
+}
+
+Program
+Assembler::finalize()
+{
+    chex_assert(!finalized, "finalize called twice");
+
+    Program prog;
+
+    // Emit one runtime-function body per distinct routine called:
+    // INTRINSIC stubs for the allocator entry points (intercepted by
+    // the MCU), real instruction loops for the string routines.
+    std::vector<IntrinsicKind> kinds;
+    for (const auto &cf : callFixups)
+        if (std::find(kinds.begin(), kinds.end(), cf.kind) == kinds.end())
+            kinds.push_back(cf.kind);
+
+    std::map<IntrinsicKind, uint64_t> stubEntry;
+    for (IntrinsicKind kind : kinds) {
+        size_t entry_idx = insts.size();
+        bool real_body = kind == IntrinsicKind::Memcpy ||
+                         kind == IntrinsicKind::Memset ||
+                         kind == IntrinsicKind::Strcpy;
+        if (real_body) {
+            emitLibraryBody(kind);
+        } else {
+            auto &body = emit(MacroOpcode::INTRINSIC);
+            body.intrinsic = kind;
+            emit(MacroOpcode::RET);
+        }
+        RuntimeFunc f;
+        f.kind = kind;
+        f.entryAddr = prog.codeBase + entry_idx * InstSlotBytes;
+        f.exitAddr =
+            prog.codeBase + (insts.size() - 1) * InstSlotBytes;
+        prog.runtimeFuncs.push_back(f);
+        stubEntry[kind] = f.entryAddr;
+    }
+    finalized = true;
+
+    for (const auto &cf : callFixups)
+        insts[cf.instIndex].target = stubEntry[cf.kind];
+
+    for (const auto &fx : fixups) {
+        chex_assert(fx.label < labelTargets.size() &&
+                        labelTargets[fx.label] >= 0,
+                    "unresolved label");
+        insts[fx.instIndex].target =
+            prog.codeBase +
+            static_cast<uint64_t>(labelTargets[fx.label]) * InstSlotBytes;
+    }
+
+    prog.code = std::move(insts);
+    prog.symbols = std::move(symbols);
+    prog.pool = std::move(pool);
+    prog.initData = std::move(initBlobs);
+    prog.dataSize = nextDataOffset;
+    if (entryLabel != SIZE_MAX) {
+        chex_assert(labelTargets[entryLabel] >= 0, "unbound entry label");
+        prog.entryPoint =
+            prog.codeBase +
+            static_cast<uint64_t>(labelTargets[entryLabel]) * InstSlotBytes;
+    }
+    return prog;
+}
+
+} // namespace chex

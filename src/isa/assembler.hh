@@ -1,0 +1,172 @@
+/**
+ * @file
+ * An in-memory assembler for building simulated programs: emits
+ * macro-instructions, resolves forward labels, allocates global data
+ * symbols and constant-pool slots, and materializes runtime-function
+ * stubs (INTRINSIC + RET) for every library routine a program calls,
+ * recording their entry/exit addresses for MSR registration.
+ */
+
+#ifndef CHEX_ISA_ASSEMBLER_HH
+#define CHEX_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace chex
+{
+
+/** Build a [base + index*scale + disp] memory operand. */
+MemOperand memAt(RegId base, int64_t disp = 0, RegId index = REG_NONE,
+                 uint8_t scale = 1);
+
+/** Build an absolute (no-register) memory operand. */
+MemOperand memAbs(uint64_t addr);
+
+/** Build a PC-relative constant-pool operand at absolute @p addr. */
+MemOperand memRip(uint64_t addr);
+
+/**
+ * Macro-instruction assembler. All emit methods append one
+ * instruction; finalize() resolves labels and returns the Program.
+ */
+class Assembler
+{
+  public:
+    using Label = size_t;
+
+    Assembler();
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind @p label to the next emitted instruction. */
+    void bind(Label label);
+
+    /** Allocate a zero-initialized global; returns its address. */
+    uint64_t addGlobal(const std::string &name, uint64_t size);
+
+    /**
+     * Get (or create) a constant-pool slot holding the address of
+     * global @p name; returns the slot's address for memRip().
+     */
+    uint64_t poolSlotFor(const std::string &name);
+
+    /** Attach initialized data to be copied to @p addr at load. */
+    void setInitData(uint64_t addr, std::vector<uint8_t> bytes);
+
+    /** Convenience: initialize a run of 64-bit words at @p addr. */
+    void setInitWords(uint64_t addr, const std::vector<uint64_t> &words);
+
+    /** @{ @name Data movement */
+    void nop();
+    void movrr(RegId dst, RegId src);
+    void movri(RegId dst, int64_t imm);
+    void movrm(RegId dst, const MemOperand &mem, uint8_t size = 8);
+    void movmr(const MemOperand &mem, RegId src, uint8_t size = 8);
+    void movmi(const MemOperand &mem, int64_t imm, uint8_t size = 8);
+    void lea(RegId dst, const MemOperand &mem);
+    void pushr(RegId src);
+    void popr(RegId dst);
+    void xchgrr(RegId a, RegId b);
+    /** @} */
+
+    /** @{ @name Integer ALU */
+    void addrr(RegId dst, RegId src);
+    void addri(RegId dst, int64_t imm);
+    void addrm(RegId dst, const MemOperand &mem, uint8_t size = 8);
+    void addmr(const MemOperand &mem, RegId src, uint8_t size = 8);
+    void addmi(const MemOperand &mem, int64_t imm, uint8_t size = 8);
+    void subrr(RegId dst, RegId src);
+    void subri(RegId dst, int64_t imm);
+    void andrr(RegId dst, RegId src);
+    void andri(RegId dst, int64_t imm);
+    void orrr(RegId dst, RegId src);
+    void orri(RegId dst, int64_t imm);
+    void xorrr(RegId dst, RegId src);
+    void xorri(RegId dst, int64_t imm);
+    void shlri(RegId dst, int64_t imm);
+    void shrri(RegId dst, int64_t imm);
+    void imulrr(RegId dst, RegId src);
+    void imulri(RegId dst, int64_t imm);
+    void incm(const MemOperand &mem, uint8_t size = 8);
+    void decm(const MemOperand &mem, uint8_t size = 8);
+    /** @} */
+
+    /** @{ @name Compare / test */
+    void cmprr(RegId a, RegId b);
+    void cmpri(RegId a, int64_t imm);
+    void cmprm(RegId a, const MemOperand &mem, uint8_t size = 8);
+    void testrr(RegId a, RegId b);
+    void testri(RegId a, int64_t imm);
+    /** @} */
+
+    /** @{ @name Floating point */
+    void fmovrr(RegId dst, RegId src);
+    void fmovrm(RegId dst, const MemOperand &mem);
+    void fmovmr(const MemOperand &mem, RegId src);
+    void faddrr(RegId dst, RegId src);
+    void fmulrr(RegId dst, RegId src);
+    void fdivrr(RegId dst, RegId src);
+    void fcvtri(RegId dst, RegId intSrc);
+    /** @} */
+
+    /** @{ @name Control flow */
+    void jmp(Label target);
+    void jmpr(RegId target);
+    void jcc(CondCode cc, Label target);
+    void call(IntrinsicKind kind);
+    void callLabel(Label target);
+    void callr(RegId target);
+    void ret();
+    void hlt();
+    /** @} */
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return insts.size(); }
+
+    /** Set the program entry point to label (default: first inst). */
+    void setEntry(Label label);
+
+    /**
+     * Resolve labels, emit runtime stubs, and produce the Program.
+     * The assembler must not be reused afterwards.
+     */
+    Program finalize();
+
+  private:
+    struct Fixup
+    {
+        size_t instIndex;
+        Label label;
+    };
+    struct CallFixup
+    {
+        size_t instIndex;
+        IntrinsicKind kind;
+    };
+
+    MacroInst &emit(MacroOpcode op);
+    void emitLibraryBody(IntrinsicKind kind);
+
+    std::vector<MacroInst> insts;
+    std::vector<int64_t> labelTargets;  // -1 = unbound
+    std::vector<Fixup> fixups;
+    std::vector<CallFixup> callFixups;
+    std::vector<Symbol> symbols;
+    std::map<std::string, uint64_t> poolSlots;
+    std::vector<PoolSlot> pool;
+    std::vector<InitBlob> initBlobs;
+    uint64_t nextDataOffset = 0;
+    uint64_t nextPoolOffset = 0;
+    Label entryLabel = SIZE_MAX;
+    bool finalized = false;
+};
+
+} // namespace chex
+
+#endif // CHEX_ISA_ASSEMBLER_HH

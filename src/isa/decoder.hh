@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The CISC-to-RISC micro-op translation interface: cracks each
+ * macro-instruction into 1..N micro-ops. Simple instructions use the
+ * 1:1 decoders, moderately complex ones the 1:4 decoder, and long
+ * flows (runtime-function bodies) the MSROM — mirroring the front
+ * end of Figure 2 in the paper. Cracked sequences for static
+ * instructions are cached per program index.
+ */
+
+#ifndef CHEX_ISA_DECODER_HH
+#define CHEX_ISA_DECODER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/insts.hh"
+#include "isa/uops.hh"
+
+namespace chex
+{
+
+/** Which decode structure handled an instruction. */
+enum class DecodePath : uint8_t
+{
+    Simple,   // 1:1 decoder
+    Complex,  // 1:4 decoder
+    Msrom,    // microcode sequencer ROM
+};
+
+/** Result of cracking one macro-instruction. */
+struct CrackedInst
+{
+    std::vector<StaticUop> uops;
+    DecodePath path = DecodePath::Simple;
+};
+
+/**
+ * Stateless macro-op cracker. INTRINSIC bodies are cracked into a
+ * fixed-length MSROM scaffold; the CPU's decode stage appends the
+ * dynamic memory micro-ops reported by the runtime-function handler.
+ */
+class Decoder
+{
+  public:
+    /**
+     * Crack @p inst (at address @p addr, needed for CALL return
+     * addresses) into micro-ops.
+     */
+    static CrackedInst crack(const MacroInst &inst, uint64_t addr);
+
+    /** Number of scaffold micro-ops for an intrinsic of @p kind. */
+    static unsigned intrinsicUopCount(IntrinsicKind kind);
+};
+
+} // namespace chex
+
+#endif // CHEX_ISA_DECODER_HH

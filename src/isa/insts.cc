@@ -1,0 +1,259 @@
+#include "insts.hh"
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+const char *
+condName(CondCode cc)
+{
+    switch (cc) {
+      case CondCode::EQ: return "e";
+      case CondCode::NE: return "ne";
+      case CondCode::LT: return "l";
+      case CondCode::LE: return "le";
+      case CondCode::GT: return "g";
+      case CondCode::GE: return "ge";
+      case CondCode::B: return "b";
+      case CondCode::BE: return "be";
+      case CondCode::A: return "a";
+      case CondCode::AE: return "ae";
+      default: return "";
+    }
+}
+
+const char *
+opcodeName(MacroOpcode op)
+{
+    switch (op) {
+      case MacroOpcode::NOP: return "nop";
+      case MacroOpcode::MOV_RR: return "mov";
+      case MacroOpcode::MOV_RI: return "mov$i";
+      case MacroOpcode::MOV_RM: return "mov(ld)";
+      case MacroOpcode::MOV_MR: return "mov(st)";
+      case MacroOpcode::MOV_MI: return "mov$i(st)";
+      case MacroOpcode::LEA: return "lea";
+      case MacroOpcode::PUSH_R: return "push";
+      case MacroOpcode::POP_R: return "pop";
+      case MacroOpcode::XCHG_RR: return "xchg";
+      case MacroOpcode::ADD_RR: return "add";
+      case MacroOpcode::ADD_RI: return "add$i";
+      case MacroOpcode::ADD_RM: return "add(ld)";
+      case MacroOpcode::ADD_MR: return "add(ld-st)";
+      case MacroOpcode::ADD_MI: return "add$i(ld-st)";
+      case MacroOpcode::SUB_RR: return "sub";
+      case MacroOpcode::SUB_RI: return "sub$i";
+      case MacroOpcode::AND_RR: return "and";
+      case MacroOpcode::AND_RI: return "and$i";
+      case MacroOpcode::OR_RR: return "or";
+      case MacroOpcode::OR_RI: return "or$i";
+      case MacroOpcode::XOR_RR: return "xor";
+      case MacroOpcode::XOR_RI: return "xor$i";
+      case MacroOpcode::SHL_RI: return "shl$i";
+      case MacroOpcode::SHR_RI: return "shr$i";
+      case MacroOpcode::IMUL_RR: return "imul";
+      case MacroOpcode::IMUL_RI: return "imul$i";
+      case MacroOpcode::INC_M: return "inc(m)";
+      case MacroOpcode::DEC_M: return "dec(m)";
+      case MacroOpcode::CMP_RR: return "cmp";
+      case MacroOpcode::CMP_RI: return "cmp$i";
+      case MacroOpcode::CMP_RM: return "cmp(ld)";
+      case MacroOpcode::TEST_RR: return "test";
+      case MacroOpcode::TEST_RI: return "test$i";
+      case MacroOpcode::FMOV_RR: return "fmov";
+      case MacroOpcode::FMOV_RM: return "fmov(ld)";
+      case MacroOpcode::FMOV_MR: return "fmov(st)";
+      case MacroOpcode::FADD_RR: return "fadd";
+      case MacroOpcode::FMUL_RR: return "fmul";
+      case MacroOpcode::FDIV_RR: return "fdiv";
+      case MacroOpcode::FCVT_RI: return "fcvt";
+      case MacroOpcode::JMP: return "jmp";
+      case MacroOpcode::JMP_R: return "jmp*";
+      case MacroOpcode::JCC: return "j";
+      case MacroOpcode::CALL: return "call";
+      case MacroOpcode::CALL_R: return "call*";
+      case MacroOpcode::RET: return "ret";
+      case MacroOpcode::HLT: return "hlt";
+      case MacroOpcode::INTRINSIC: return "intrinsic";
+      default: return "???";
+    }
+}
+
+const char *
+intrinsicName(IntrinsicKind kind)
+{
+    switch (kind) {
+      case IntrinsicKind::Malloc: return "malloc";
+      case IntrinsicKind::Calloc: return "calloc";
+      case IntrinsicKind::Realloc: return "realloc";
+      case IntrinsicKind::Free: return "free";
+      case IntrinsicKind::Memcpy: return "memcpy";
+      case IntrinsicKind::Memset: return "memset";
+      case IntrinsicKind::Strcpy: return "strcpy";
+      case IntrinsicKind::PrintVal: return "print_val";
+      default: return "none";
+    }
+}
+
+bool
+MacroInst::isLoad() const
+{
+    switch (opcode) {
+      case MacroOpcode::MOV_RM:
+      case MacroOpcode::ADD_RM:
+      case MacroOpcode::ADD_MR:
+      case MacroOpcode::ADD_MI:
+      case MacroOpcode::INC_M:
+      case MacroOpcode::DEC_M:
+      case MacroOpcode::CMP_RM:
+      case MacroOpcode::FMOV_RM:
+      case MacroOpcode::POP_R:
+      case MacroOpcode::RET:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+MacroInst::isStore() const
+{
+    switch (opcode) {
+      case MacroOpcode::MOV_MR:
+      case MacroOpcode::MOV_MI:
+      case MacroOpcode::ADD_MR:
+      case MacroOpcode::ADD_MI:
+      case MacroOpcode::INC_M:
+      case MacroOpcode::DEC_M:
+      case MacroOpcode::FMOV_MR:
+      case MacroOpcode::PUSH_R:
+      case MacroOpcode::CALL:
+      case MacroOpcode::CALL_R:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+MacroInst::isBranch() const
+{
+    switch (opcode) {
+      case MacroOpcode::JMP:
+      case MacroOpcode::JMP_R:
+      case MacroOpcode::JCC:
+      case MacroOpcode::CALL:
+      case MacroOpcode::CALL_R:
+      case MacroOpcode::RET:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+MacroInst::isDirectBranch() const
+{
+    switch (opcode) {
+      case MacroOpcode::JMP:
+      case MacroOpcode::JCC:
+      case MacroOpcode::CALL:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+MacroInst::writesFlags() const
+{
+    switch (opcode) {
+      case MacroOpcode::CMP_RR:
+      case MacroOpcode::CMP_RI:
+      case MacroOpcode::CMP_RM:
+      case MacroOpcode::TEST_RR:
+      case MacroOpcode::TEST_RI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+namespace
+{
+
+std::string
+memString(const MemOperand &m)
+{
+    std::string out;
+    if (m.ripRelative)
+        out += "rip:";
+    out += csprintf("%lld(", static_cast<long long>(m.disp));
+    if (m.hasBase())
+        out += regName(m.base);
+    if (m.hasIndex())
+        out += csprintf(",%s,%u", regName(m.index), m.scale);
+    out += ")";
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+MacroInst::toString() const
+{
+    std::string out = opcodeName(opcode);
+    if (opcode == MacroOpcode::JCC)
+        out += condName(cc);
+    out += " ";
+    if (opcode == MacroOpcode::INTRINSIC) {
+        out += intrinsicName(intrinsic);
+        return out;
+    }
+    if (isDirectBranch() || opcode == MacroOpcode::JMP) {
+        out += csprintf("0x%llx", static_cast<unsigned long long>(target));
+        return out;
+    }
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            out += ", ";
+        first = false;
+    };
+    if (dst != REG_NONE) {
+        sep();
+        out += regName(dst);
+    }
+    if (src != REG_NONE) {
+        sep();
+        out += regName(src);
+    }
+    if (isMemRef() || opcode == MacroOpcode::LEA) {
+        sep();
+        out += memString(mem);
+    }
+    switch (opcode) {
+      case MacroOpcode::MOV_RI:
+      case MacroOpcode::MOV_MI:
+      case MacroOpcode::ADD_RI:
+      case MacroOpcode::ADD_MI:
+      case MacroOpcode::SUB_RI:
+      case MacroOpcode::AND_RI:
+      case MacroOpcode::OR_RI:
+      case MacroOpcode::XOR_RI:
+      case MacroOpcode::SHL_RI:
+      case MacroOpcode::SHR_RI:
+      case MacroOpcode::IMUL_RI:
+      case MacroOpcode::CMP_RI:
+      case MacroOpcode::TEST_RI:
+        sep();
+        out += csprintf("$%lld", static_cast<long long>(imm));
+        break;
+      default:
+        break;
+    }
+    return out;
+}
+
+} // namespace chex

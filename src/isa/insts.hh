@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Macro-instruction (CISC-level) definitions: opcodes, addressing
+ * modes, condition codes, and the MacroInst record the front end
+ * fetches and the decoder cracks into micro-ops.
+ *
+ * Every instruction occupies a fixed 4-byte slot in the simulated
+ * text section, so instruction i of a program lives at
+ * codeBase + 4*i. Branch/call targets are absolute addresses.
+ */
+
+#ifndef CHEX_ISA_INSTS_HH
+#define CHEX_ISA_INSTS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/regs.hh"
+
+namespace chex
+{
+
+/** Condition codes evaluated against the FLAGS register. */
+enum class CondCode : uint8_t
+{
+    EQ,  // equal / zero
+    NE,  // not equal
+    LT,  // signed less than
+    LE,  // signed less or equal
+    GT,  // signed greater than
+    GE,  // signed greater or equal
+    B,   // unsigned below
+    BE,  // unsigned below or equal
+    A,   // unsigned above
+    AE,  // unsigned above or equal
+    None,
+};
+
+/** Printable condition suffix ("e", "ne", "l", ...). */
+const char *condName(CondCode cc);
+
+/**
+ * A register-memory addressing-mode operand:
+ * [base + index*scale + disp], any component optional.
+ * ripRelative marks PC-relative constant-pool loads.
+ */
+struct MemOperand
+{
+    RegId base = REG_NONE;
+    RegId index = REG_NONE;
+    uint8_t scale = 1;       // 1, 2, 4, or 8
+    int64_t disp = 0;
+    bool ripRelative = false;
+
+    bool hasBase() const { return base != REG_NONE; }
+    bool hasIndex() const { return index != REG_NONE; }
+};
+
+/** Macro opcodes. Suffixes: RR reg,reg  RI reg,imm  RM reg,mem  MR mem,reg  MI mem,imm  M mem. */
+enum class MacroOpcode : uint8_t
+{
+    NOP,
+    // data movement
+    MOV_RR,
+    MOV_RI,     // load-immediate; rule MOVI in the paper's Table I
+    MOV_RM,     // load
+    MOV_MR,     // store
+    MOV_MI,     // store-immediate
+    LEA,
+    PUSH_R,
+    POP_R,
+    XCHG_RR,
+    // integer ALU
+    ADD_RR,
+    ADD_RI,
+    ADD_RM,     // add reg <- reg + [mem]  (load-op)
+    ADD_MR,     // add [mem] <- [mem] + reg (load-op-store)
+    ADD_MI,
+    SUB_RR,
+    SUB_RI,
+    AND_RR,
+    AND_RI,
+    OR_RR,
+    OR_RI,
+    XOR_RR,
+    XOR_RI,
+    SHL_RI,
+    SHR_RI,
+    IMUL_RR,
+    IMUL_RI,
+    INC_M,      // (*p)++ of Figure 5: ld, add, st
+    DEC_M,
+    // compare / test (write FLAGS)
+    CMP_RR,
+    CMP_RI,
+    CMP_RM,
+    TEST_RR,
+    TEST_RI,
+    // floating point (XMM as scalar double)
+    FMOV_RR,
+    FMOV_RM,
+    FMOV_MR,
+    FADD_RR,
+    FMUL_RR,
+    FDIV_RR,
+    FCVT_RI,    // int reg -> fp reg convert
+    // control flow
+    JMP,
+    JMP_R,      // indirect jump through register
+    JCC,
+    CALL,
+    CALL_R,     // indirect call through register
+    RET,
+    // program termination / runtime
+    HLT,
+    INTRINSIC,  // body of a registered runtime function (allocator)
+    NUM_OPCODES,
+};
+
+/** Printable mnemonic. */
+const char *opcodeName(MacroOpcode op);
+
+/** Runtime-function bodies implemented by the simulator host side. */
+enum class IntrinsicKind : uint8_t
+{
+    None,
+    Malloc,
+    Calloc,
+    Realloc,
+    Free,
+    Memcpy,   // abused-function model for RIPE-style exploits
+    Memset,
+    Strcpy,   // unbounded copy abused by overflow exploits
+    PrintVal, // benign sink so generated code has live outputs
+};
+
+/** Name of an intrinsic. */
+const char *intrinsicName(IntrinsicKind kind);
+
+/**
+ * One fetched macro-instruction. The fields used depend on the
+ * opcode; unused fields keep their defaults. `size` is the memory
+ * operand width in bytes (1/2/4/8).
+ */
+struct MacroInst
+{
+    MacroOpcode opcode = MacroOpcode::NOP;
+    RegId dst = REG_NONE;
+    RegId src = REG_NONE;
+    MemOperand mem;
+    int64_t imm = 0;
+    uint8_t size = 8;
+    CondCode cc = CondCode::None;
+    uint64_t target = 0;          // branch/call absolute target
+    IntrinsicKind intrinsic = IntrinsicKind::None;
+
+    bool isLoad() const;
+    bool isStore() const;
+    bool isMemRef() const { return isLoad() || isStore(); }
+    bool isBranch() const;
+    bool isDirectBranch() const;
+    bool isCall() const
+    {
+        return opcode == MacroOpcode::CALL ||
+               opcode == MacroOpcode::CALL_R;
+    }
+    bool isReturn() const { return opcode == MacroOpcode::RET; }
+    bool writesFlags() const;
+
+    /** Disassembly for debugging and traces. */
+    std::string toString() const;
+};
+
+/** Encoded instruction-slot width in the simulated text section. */
+constexpr uint64_t InstSlotBytes = 4;
+
+} // namespace chex
+
+#endif // CHEX_ISA_INSTS_HH

@@ -1,0 +1,42 @@
+#include "program.hh"
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+size_t
+Program::indexOf(uint64_t addr) const
+{
+    if (!inText(addr) || (addr - codeBase) % InstSlotBytes != 0)
+        return SIZE_MAX;
+    return (addr - codeBase) / InstSlotBytes;
+}
+
+const MacroInst &
+Program::fetch(uint64_t addr) const
+{
+    size_t idx = indexOf(addr);
+    chex_assert(idx != SIZE_MAX, "fetch outside text section");
+    return code[idx];
+}
+
+const RuntimeFunc *
+Program::findRuntime(IntrinsicKind kind) const
+{
+    for (const auto &f : runtimeFuncs)
+        if (f.kind == kind)
+            return &f;
+    return nullptr;
+}
+
+const Symbol *
+Program::findSymbol(const std::string &name) const
+{
+    for (const auto &s : symbols)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+} // namespace chex

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * A loaded program image: text (macro-instructions), global data
+ * symbols, a PC-relative constant pool holding global addresses, and
+ * the registered runtime (heap-management) functions whose entry and
+ * exit points the microcode customization unit intercepts.
+ */
+
+#ifndef CHEX_ISA_PROGRAM_HH
+#define CHEX_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/insts.hh"
+
+namespace chex
+{
+
+/** Canonical virtual-address-space layout for simulated programs. */
+namespace layout
+{
+constexpr uint64_t CodeBase = 0x400000;
+constexpr uint64_t PoolBase = 0x600000;   // constant pool (text)
+constexpr uint64_t DataBase = 0x700000;   // global data section
+constexpr uint64_t HeapBase = 0x10000000;
+constexpr uint64_t HeapLimit = 0x70000000;
+constexpr uint64_t StackTop = 0x7fff0000; // grows down
+constexpr uint64_t StackLimit = 0x7ff00000;
+} // namespace layout
+
+/** A global data object recorded in the (optional) symbol table. */
+struct Symbol
+{
+    std::string name;
+    uint64_t addr = 0;
+    uint64_t size = 0;
+};
+
+/** One constant-pool slot holding the address of a global symbol. */
+struct PoolSlot
+{
+    uint64_t addr = 0;      // where in the pool the value lives
+    uint64_t value = 0;     // the global address it holds
+    std::string refSymbol;  // which symbol the value points at
+};
+
+/**
+ * A runtime function with MSR-registerable entry and exit points.
+ * Heap-management kinds (malloc/calloc/realloc/free) are intercepted
+ * by the MCU; the others are plain library routines used by
+ * workloads and exploits.
+ */
+struct RuntimeFunc
+{
+    IntrinsicKind kind = IntrinsicKind::None;
+    uint64_t entryAddr = 0;
+    uint64_t exitAddr = 0;
+};
+
+/** An initialized-data blob copied into memory at load time. */
+struct InitBlob
+{
+    uint64_t addr = 0;
+    std::vector<uint8_t> bytes;
+};
+
+/** A fully assembled program ready to be loaded into a System. */
+struct Program
+{
+    uint64_t codeBase = layout::CodeBase;
+    std::vector<MacroInst> code;
+    std::vector<Symbol> symbols;
+    std::vector<PoolSlot> pool;
+    std::vector<RuntimeFunc> runtimeFuncs;
+    std::vector<InitBlob> initData;
+    uint64_t entryPoint = layout::CodeBase;
+    uint64_t dataSize = 0;   // bytes of global data to zero-map
+
+    /** Total instruction count. */
+    size_t numInsts() const { return code.size(); }
+
+    /** Address of instruction @p index. */
+    uint64_t
+    addrOf(size_t index) const
+    {
+        return codeBase + index * InstSlotBytes;
+    }
+
+    /** Index of the instruction at @p addr, or SIZE_MAX if outside. */
+    size_t indexOf(uint64_t addr) const;
+
+    /** The instruction at @p addr; panics if out of range. */
+    const MacroInst &fetch(uint64_t addr) const;
+
+    /** True if @p addr falls in this program's text section. */
+    bool
+    inText(uint64_t addr) const
+    {
+        return addr >= codeBase &&
+               addr < codeBase + numInsts() * InstSlotBytes;
+    }
+
+    /** Find a runtime function by kind (first match) or nullptr. */
+    const RuntimeFunc *findRuntime(IntrinsicKind kind) const;
+
+    /** Find a symbol by name or nullptr. */
+    const Symbol *findSymbol(const std::string &name) const;
+};
+
+} // namespace chex
+
+#endif // CHEX_ISA_PROGRAM_HH

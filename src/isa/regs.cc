@@ -1,0 +1,43 @@
+#include "regs.hh"
+
+namespace chex
+{
+
+const char *
+regName(RegId r)
+{
+    switch (r) {
+      case RAX: return "%rax";
+      case RBX: return "%rbx";
+      case RCX: return "%rcx";
+      case RDX: return "%rdx";
+      case RSI: return "%rsi";
+      case RDI: return "%rdi";
+      case RBP: return "%rbp";
+      case RSP: return "%rsp";
+      case R8: return "%r8";
+      case R9: return "%r9";
+      case R10: return "%r10";
+      case R11: return "%r11";
+      case R12: return "%r12";
+      case R13: return "%r13";
+      case R14: return "%r14";
+      case R15: return "%r15";
+      case XMM0: return "%xmm0";
+      case XMM1: return "%xmm1";
+      case XMM2: return "%xmm2";
+      case XMM3: return "%xmm3";
+      case XMM4: return "%xmm4";
+      case XMM5: return "%xmm5";
+      case XMM6: return "%xmm6";
+      case XMM7: return "%xmm7";
+      case FLAGS: return "%flags";
+      case T0: return "%t0";
+      case T1: return "%t1";
+      case T2: return "%t2";
+      case T3: return "%t3";
+      default: return "%none";
+    }
+}
+
+} // namespace chex

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Architectural register definitions for the simplified x86-64-like
+ * macro ISA used throughout the simulator.
+ *
+ * The integer file mirrors x86-64 (RAX..R15); XMM0..XMM7 stand in for
+ * the vector/FP file; FLAGS is modelled as one renameable register
+ * written by CMP/TEST and read by conditional branches; T0..T3 are
+ * microcode temporaries only visible to cracked micro-ops (the "tN"
+ * registers of the paper's Figure 5 micro-code listings).
+ */
+
+#ifndef CHEX_ISA_REGS_HH
+#define CHEX_ISA_REGS_HH
+
+#include <cstdint>
+
+namespace chex
+{
+
+/** Architectural register identifiers. */
+enum RegId : uint8_t
+{
+    RAX = 0,
+    RBX,
+    RCX,
+    RDX,
+    RSI,
+    RDI,
+    RBP,
+    RSP,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    XMM0,
+    XMM1,
+    XMM2,
+    XMM3,
+    XMM4,
+    XMM5,
+    XMM6,
+    XMM7,
+    FLAGS,
+    T0, // microcode temporaries
+    T1,
+    T2,
+    T3,
+    NUM_REGS,
+    REG_NONE = 0xff,
+};
+
+/** Number of integer architectural registers (RAX..R15). */
+constexpr unsigned NumIntRegs = 16;
+
+/** Total renameable register count (everything but REG_NONE). */
+constexpr unsigned NumArchRegs = NUM_REGS;
+
+/** True for XMM registers. */
+constexpr bool
+isFpReg(RegId r)
+{
+    return r >= XMM0 && r <= XMM7;
+}
+
+/** True for the integer file (incl. RSP/RBP). */
+constexpr bool
+isIntReg(RegId r)
+{
+    return r < NumIntRegs;
+}
+
+/** True for microcode temporaries. */
+constexpr bool
+isTempReg(RegId r)
+{
+    return r >= T0 && r <= T3;
+}
+
+/** Printable register name ("%rax", "%t0", ...). */
+const char *regName(RegId r);
+
+} // namespace chex
+
+#endif // CHEX_ISA_REGS_HH

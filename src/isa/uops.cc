@@ -1,0 +1,101 @@
+#include "uops.hh"
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+const char *
+uopTypeName(UopType t)
+{
+    switch (t) {
+      case UopType::Nop: return "nop";
+      case UopType::IntAlu: return "alu";
+      case UopType::IntMult: return "mult";
+      case UopType::IntDiv: return "div";
+      case UopType::FpAlu: return "falu";
+      case UopType::FpMult: return "fmult";
+      case UopType::FpDiv: return "fdiv";
+      case UopType::Lea: return "lea";
+      case UopType::LoadImm: return "limm";
+      case UopType::Load: return "ld";
+      case UopType::Store: return "st";
+      case UopType::Branch: return "br";
+      case UopType::CapGenBegin: return "capGen.Begin";
+      case UopType::CapGenEnd: return "capGen.End";
+      case UopType::CapCheck: return "capCheck";
+      case UopType::CapFreeBegin: return "capFree.Begin";
+      case UopType::CapFreeEnd: return "capFree.End";
+      default: return "???";
+    }
+}
+
+std::string
+StaticUop::toString() const
+{
+    std::string out = uopTypeName(type);
+    if (isBranch() && cc != CondCode::None)
+        out += std::string(".") + condName(cc);
+    out += " ";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            out += ", ";
+        first = false;
+    };
+    if (dst != REG_NONE) {
+        sep();
+        out += regName(dst);
+    }
+    if (src1 != REG_NONE) {
+        sep();
+        out += regName(src1);
+    }
+    if (src2 != REG_NONE) {
+        sep();
+        out += regName(src2);
+    }
+    if (useImm) {
+        sep();
+        out += csprintf("$%lld", static_cast<long long>(imm));
+    }
+    if (hasMem) {
+        sep();
+        out += csprintf("[%s%+lld]",
+                        mem.hasBase() ? regName(mem.base) : "",
+                        static_cast<long long>(mem.disp));
+    }
+    return out;
+}
+
+uint64_t
+encodeFlags(uint64_t a, uint64_t b)
+{
+    auto sa = static_cast<int64_t>(a);
+    auto sb = static_cast<int64_t>(b);
+    uint64_t f = 0;
+    auto set = [&](CondCode cc, bool v) {
+        if (v)
+            f |= 1ull << static_cast<unsigned>(cc);
+    };
+    set(CondCode::EQ, a == b);
+    set(CondCode::NE, a != b);
+    set(CondCode::LT, sa < sb);
+    set(CondCode::LE, sa <= sb);
+    set(CondCode::GT, sa > sb);
+    set(CondCode::GE, sa >= sb);
+    set(CondCode::B, a < b);
+    set(CondCode::BE, a <= b);
+    set(CondCode::A, a > b);
+    set(CondCode::AE, a >= b);
+    return f;
+}
+
+bool
+testCond(uint64_t flags, CondCode cc)
+{
+    chex_assert(cc != CondCode::None, "testCond on CondCode::None");
+    return (flags >> static_cast<unsigned>(cc)) & 1ull;
+}
+
+} // namespace chex

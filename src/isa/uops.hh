@@ -1,0 +1,132 @@
+/**
+ * @file
+ * RISC micro-op definitions: the internal instruction set the decoder
+ * cracks macro-ops into, and the capability micro-ops (capGen.Begin,
+ * capGen.End, capCheck, capFree.Begin, capFree.End) that the
+ * microcode customization unit injects (Section IV-C of the paper).
+ */
+
+#ifndef CHEX_ISA_UOPS_HH
+#define CHEX_ISA_UOPS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/insts.hh"
+#include "isa/regs.hh"
+
+namespace chex
+{
+
+/** Micro-op class; drives functional-unit selection and latency. */
+enum class UopType : uint8_t
+{
+    Nop,
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAlu,
+    FpMult,
+    FpDiv,
+    Lea,        // address generation without memory access
+    LoadImm,    // limm of Table I rule MOVI
+    Load,
+    Store,
+    Branch,
+    // Capability micro-ops (only injectable by the microcode engine)
+    CapGenBegin,
+    CapGenEnd,
+    CapCheck,
+    CapFreeBegin,
+    CapFreeEnd,
+    NUM_TYPES,
+};
+
+/** Printable micro-op class name. */
+const char *uopTypeName(UopType t);
+
+/** ALU sub-operation for IntAlu / FpAlu / FpMult micro-ops. */
+enum class AluOp : uint8_t
+{
+    None,
+    Mov,
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Mul,
+    Cmp,   // writes FLAGS
+    Test,  // writes FLAGS
+    FAdd,
+    FMul,
+    FDiv,
+    FCvt,
+};
+
+/**
+ * A static micro-op produced by cracking one macro-instruction.
+ * Register-to-register dataflow uses dst/src1/src2; `useImm`
+ * substitutes `imm` for src2. Memory micro-ops carry the effective
+ * address expression in `mem` (resolved at execute).
+ */
+struct StaticUop
+{
+    UopType type = UopType::Nop;
+    AluOp op = AluOp::None;
+    RegId dst = REG_NONE;
+    RegId src1 = REG_NONE;
+    RegId src2 = REG_NONE;
+    MemOperand mem;
+    bool hasMem = false;
+    int64_t imm = 0;
+    bool useImm = false;
+    uint8_t memSize = 8;
+    CondCode cc = CondCode::None;   // Branch only
+    bool indirect = false;          // Branch via src1 register
+    /**
+     * Decoder-internal micro-op (e.g. the limm materializing a CALL
+     * return address). The pointer tracker's MOVI rule ignores these:
+     * only programmer-visible load-immediates can create wild
+     * pointers.
+     */
+    bool synthetic = false;
+
+    bool isLoad() const { return type == UopType::Load; }
+    bool isStore() const { return type == UopType::Store; }
+    bool isMemRef() const { return isLoad() || isStore(); }
+    bool isBranch() const { return type == UopType::Branch; }
+
+    /** True for the five capability micro-op types. */
+    bool
+    isCapUop() const
+    {
+        return type >= UopType::CapGenBegin &&
+               type <= UopType::CapFreeEnd;
+    }
+
+    bool writesFlags() const
+    {
+        return op == AluOp::Cmp || op == AluOp::Test;
+    }
+
+    /** Disassembly for debugging. */
+    std::string toString() const;
+};
+
+/**
+ * FLAGS encoding: CMP/TEST compute every condition eagerly and pack
+ * one bit per CondCode into the FLAGS register value; a conditional
+ * branch then just tests its bit. This keeps FLAGS a single
+ * renameable 64-bit value.
+ */
+uint64_t encodeFlags(uint64_t a, uint64_t b);
+
+/** Evaluate a condition code against an encoded FLAGS value. */
+bool testCond(uint64_t flags, CondCode cc);
+
+} // namespace chex
+
+#endif // CHEX_ISA_UOPS_HH

@@ -1,0 +1,126 @@
+#include "alias_table.hh"
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+AliasTable::AliasTable()
+{
+    root = allocNode();
+}
+
+AliasTable::~AliasTable()
+{
+    freeSubtree(root, 0);
+}
+
+AliasTable::Node *
+AliasTable::allocNode()
+{
+    ++_nodeCount;
+    return new Node();
+}
+
+void
+AliasTable::freeSubtree(Node *node, unsigned level)
+{
+    if (level + 1 < Levels) {
+        for (uint64_t slot : node->slots)
+            if (slot)
+                freeSubtree(reinterpret_cast<Node *>(slot), level + 1);
+    }
+    delete node;
+    --_nodeCount;
+}
+
+unsigned
+AliasTable::levelIndex(uint64_t addr, unsigned level)
+{
+    // Word index = VA[47:3]; level 0 uses the top 9 bits of it.
+    uint64_t word = (addr >> 3) & ((1ull << 45) - 1);
+    unsigned shift = BitsPerLevel * (Levels - 1 - level);
+    return static_cast<unsigned>((word >> shift) & (Fanout - 1));
+}
+
+void
+AliasTable::set(uint64_t addr, uint32_t pid)
+{
+    addr &= ~7ull;
+    Node *node = root;
+    for (unsigned level = 0; level + 1 < Levels; ++level) {
+        uint64_t &slot = node->slots[levelIndex(addr, level)];
+        if (!slot) {
+            if (pid == 0)
+                return; // nothing to erase
+            slot = reinterpret_cast<uint64_t>(allocNode());
+        }
+        node = reinterpret_cast<Node *>(slot);
+    }
+    uint64_t &leaf = node->slots[levelIndex(addr, Levels - 1)];
+    uint64_t page = addr / 4096;
+    auto was = static_cast<uint32_t>(leaf);
+    if (was == pid)
+        return;
+    if (was == 0 && pid != 0) {
+        ++_liveEntries;
+        ++aliasPages[page];
+    } else if (was != 0 && pid == 0) {
+        --_liveEntries;
+        auto it = aliasPages.find(page);
+        if (it != aliasPages.end() && --it->second == 0)
+            aliasPages.erase(it);
+    }
+    leaf = pid;
+}
+
+uint32_t
+AliasTable::get(uint64_t addr) const
+{
+    addr &= ~7ull;
+    const Node *node = root;
+    for (unsigned level = 0; level + 1 < Levels; ++level) {
+        uint64_t slot = node->slots[levelIndex(addr, level)];
+        if (!slot)
+            return 0;
+        node = reinterpret_cast<const Node *>(slot);
+    }
+    return static_cast<uint32_t>(node->slots[levelIndex(addr, Levels - 1)]);
+}
+
+AliasWalkResult
+AliasTable::walk(uint64_t addr) const
+{
+    addr &= ~7ull;
+    AliasWalkResult result;
+    const Node *node = root;
+    for (unsigned level = 0; level + 1 < Levels; ++level) {
+        ++result.levelsTouched;
+        uint64_t slot = node->slots[levelIndex(addr, level)];
+        if (!slot)
+            return result;
+        node = reinterpret_cast<const Node *>(slot);
+    }
+    ++result.levelsTouched;
+    result.pid = static_cast<uint32_t>(
+        node->slots[levelIndex(addr, Levels - 1)]);
+    return result;
+}
+
+bool
+AliasTable::pageHostsAliases(uint64_t addr) const
+{
+    return aliasPages.count(addr / 4096) != 0;
+}
+
+void
+AliasTable::clear()
+{
+    freeSubtree(root, 0);
+    chex_assert(_nodeCount == 0, "alias table leak");
+    root = allocNode();
+    _liveEntries = 0;
+    aliasPages.clear();
+}
+
+} // namespace chex

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The shadow alias table (Section V-C): a 5-level hierarchical radix
+ * structure — mirroring the in-memory page-table layout — that maps
+ * each 8-byte-aligned virtual word holding a spilled pointer to the
+ * PID of that pointer. A hardware walker traverses it on alias-cache
+ * misses; the walk depth feeds the memory-traffic model. The page
+ * granular "alias-hosting" filter (the paper's TLB / page-table
+ * metadata bit) short-circuits lookups for pages that hold no
+ * aliases at all.
+ */
+
+#ifndef CHEX_MEM_ALIAS_TABLE_HH
+#define CHEX_MEM_ALIAS_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace chex
+{
+
+/** Result of a hardware alias-table walk. */
+struct AliasWalkResult
+{
+    uint32_t pid = 0;        // 0 = no alias at that word
+    unsigned levelsTouched = 0; // memory accesses performed
+};
+
+/** 5-level radix shadow table: VA[47:3] -> PID. */
+class AliasTable
+{
+  public:
+    AliasTable();
+    ~AliasTable();
+
+    /**
+     * Record that the word at @p addr holds a spilled pointer with
+     * identifier @p pid (0 erases). @p addr is word-aligned down.
+     */
+    void set(uint64_t addr, uint32_t pid);
+
+    /** PID stored for the word at @p addr (0 if none). */
+    uint32_t get(uint64_t addr) const;
+
+    /** Full walk with per-level touch accounting. */
+    AliasWalkResult walk(uint64_t addr) const;
+
+    /**
+     * The TLB alias-hosting bit: true if the 4 KiB page containing
+     * @p addr has ever hosted a spilled-pointer alias.
+     */
+    bool pageHostsAliases(uint64_t addr) const;
+
+    /** Number of live (nonzero) alias entries. */
+    uint64_t liveEntries() const { return _liveEntries; }
+
+    /** Shadow storage consumed: allocated nodes x 4 KiB each. */
+    uint64_t storageBytes() const { return _nodeCount * NodeBytes; }
+
+    /** Remove every entry. */
+    void clear();
+
+    static constexpr unsigned Levels = 5;
+    static constexpr unsigned NodeBytes = 4096;
+
+  private:
+    static constexpr unsigned BitsPerLevel = 9;
+    static constexpr unsigned Fanout = 1u << BitsPerLevel;
+
+    struct Node
+    {
+        // Interior levels hold child pointers; the leaf level holds
+        // PIDs in the same storage (as integers).
+        std::array<uint64_t, Fanout> slots{};
+    };
+
+    static unsigned levelIndex(uint64_t addr, unsigned level);
+
+    Node *root;
+    uint64_t _nodeCount = 0;
+    uint64_t _liveEntries = 0;
+    std::unordered_map<uint64_t, uint32_t> aliasPages; // page -> count
+
+    Node *allocNode();
+    void freeSubtree(Node *node, unsigned level);
+};
+
+} // namespace chex
+
+#endif // CHEX_MEM_ALIAS_TABLE_HH

@@ -1,0 +1,91 @@
+#include "sparse_memory.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+SparseMemory::Page *
+SparseMemory::findPage(uint64_t addr) const
+{
+    auto it = pages.find(addr / PageBytes);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page &
+SparseMemory::touchPage(uint64_t addr)
+{
+    auto &slot = pages[addr / PageBytes];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+uint64_t
+SparseMemory::read(uint64_t addr, unsigned size) const
+{
+    chex_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size");
+    uint64_t value = 0;
+    readBlock(addr, &value, size);
+    return value;
+}
+
+void
+SparseMemory::write(uint64_t addr, uint64_t value, unsigned size)
+{
+    chex_assert(size == 1 || size == 2 || size == 4 || size == 8,
+                "bad access size");
+    writeBlock(addr, &value, size);
+}
+
+void
+SparseMemory::readBlock(uint64_t addr, void *buf, uint64_t len) const
+{
+    auto *out = static_cast<uint8_t *>(buf);
+    while (len > 0) {
+        uint64_t off = addr % PageBytes;
+        uint64_t chunk = std::min(len, PageBytes - off);
+        if (const Page *page = findPage(addr))
+            std::memcpy(out, page->data() + off, chunk);
+        else
+            std::memset(out, 0, chunk);
+        addr += chunk;
+        out += chunk;
+        len -= chunk;
+    }
+}
+
+void
+SparseMemory::writeBlock(uint64_t addr, const void *buf, uint64_t len)
+{
+    auto *in = static_cast<const uint8_t *>(buf);
+    while (len > 0) {
+        uint64_t off = addr % PageBytes;
+        uint64_t chunk = std::min(len, PageBytes - off);
+        Page &page = touchPage(addr);
+        std::memcpy(page.data() + off, in, chunk);
+        addr += chunk;
+        in += chunk;
+        len -= chunk;
+    }
+}
+
+void
+SparseMemory::fill(uint64_t addr, uint8_t byte, uint64_t len)
+{
+    while (len > 0) {
+        uint64_t off = addr % PageBytes;
+        uint64_t chunk = std::min(len, PageBytes - off);
+        Page &page = touchPage(addr);
+        std::memset(page.data() + off, byte, chunk);
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace chex

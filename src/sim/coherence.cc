@@ -1,0 +1,88 @@
+#include "coherence.hh"
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+CoherenceFabric::CoherenceFabric(unsigned cores, unsigned cap_entries,
+                                 const AliasCacheConfig &alias_cfg)
+{
+    chex_assert(cores > 0, "need at least one core");
+    for (unsigned c = 0; c < cores; ++c) {
+        capCaches.push_back(
+            std::make_unique<CapabilityCache>(cap_entries));
+        aliasCaches.push_back(std::make_unique<VictimAugmentedCache>(
+            "aliasCache.core" + std::to_string(c), alias_cfg.sets,
+            alias_cfg.ways, alias_cfg.victimEntries));
+    }
+    capKnockouts.resize(cores);
+    aliasKnockouts.resize(cores);
+}
+
+bool
+CoherenceFabric::capLookup(unsigned core, Pid pid)
+{
+    chex_assert(core < cores(), "bad core");
+    ++numCapLookups;
+    bool hit = capCaches[core]->lookup(pid);
+    if (!hit) {
+        auto it = capKnockouts[core].find(pid);
+        if (it != capKnockouts[core].end()) {
+            ++capCohMisses;
+            capKnockouts[core].erase(it);
+        }
+    }
+    return hit;
+}
+
+bool
+CoherenceFabric::aliasLookup(unsigned core, uint64_t addr)
+{
+    chex_assert(core < cores(), "bad core");
+    ++numAliasLookups;
+    uint64_t key = aliasKey(addr);
+    bool hit = aliasCaches[core]->access(key);
+    if (!hit) {
+        auto it = aliasKnockouts[core].find(key);
+        if (it != aliasKnockouts[core].end()) {
+            ++aliasCohMisses;
+            aliasKnockouts[core].erase(it);
+        }
+        aliasCaches[core]->insert(key);
+    }
+    return hit;
+}
+
+void
+CoherenceFabric::aliasStore(unsigned core, uint64_t addr)
+{
+    chex_assert(core < cores(), "bad core");
+    uint64_t key = aliasKey(addr);
+    aliasCaches[core]->insert(key);
+    // Keep remote alias caches coherent (Section V-C).
+    for (unsigned c = 0; c < cores(); ++c) {
+        if (c == core)
+            continue;
+        ++aliasInvals;
+        if (aliasCaches[c]->invalidate(key))
+            aliasKnockouts[c].insert(key);
+    }
+}
+
+void
+CoherenceFabric::onFree(unsigned core, Pid pid)
+{
+    chex_assert(core < cores(), "bad core");
+    for (unsigned c = 0; c < cores(); ++c) {
+        if (c == core)
+            continue;
+        ++capInvals;
+        capCaches[c]->invalidate(pid);
+        capKnockouts[c].insert(pid);
+    }
+    // The local cache drops the entry too (valid bit went away).
+    capCaches[core]->invalidate(pid);
+}
+
+} // namespace chex

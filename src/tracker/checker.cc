@@ -1,0 +1,110 @@
+#include "checker.hh"
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+HardwareChecker::HardwareChecker(const CapabilityTable &caps_in,
+                                 RuleDatabase &rules_in,
+                                 const CheckerConfig &cfg_in)
+    : caps(caps_in), rules(rules_in), cfg(cfg_in)
+{
+}
+
+bool
+HardwareChecker::observe(const StaticUop &uop, Pid src1_pid,
+                         Pid src2_pid, Pid predicted_dst,
+                         uint64_t result_value)
+{
+    ++numValidations;
+
+    // Exhaustive search: does the result value point into any block
+    // we track (live or freed)?
+    Pid actual = caps.pidForAddress(result_value);
+
+    // The wild tag is a deliberate over-approximation, not an error:
+    // the exhaustive search cannot confirm it, so skip validation.
+    if (predicted_dst == WildPid)
+        return true;
+
+    if (predicted_dst == actual)
+        return true;
+
+    ++numMismatches;
+
+    // Candidate-action inference: which propagation action would
+    // have produced the observed PID?
+    RuleAction candidates[] = {
+        RuleAction::CopySrc1,
+        RuleAction::CopySrc2,
+        RuleAction::CopyNonZero,
+        RuleAction::Clear,
+    };
+    RuleAction explaining = RuleAction::Clear;
+    bool found = false;
+    for (RuleAction action : candidates) {
+        Pid produced = NoPid;
+        switch (action) {
+          case RuleAction::CopySrc1:
+            produced = src1_pid;
+            break;
+          case RuleAction::CopySrc2:
+            produced = src2_pid;
+            break;
+          case RuleAction::CopyNonZero:
+            produced = src1_pid != NoPid ? src1_pid : src2_pid;
+            break;
+          default:
+            produced = NoPid;
+            break;
+        }
+        if (produced == actual) {
+            explaining = action;
+            found = true;
+            break;
+        }
+    }
+    if (!found) {
+        // Nothing explains it: the paper dumps the offending
+        // instruction and requests manual rule-database updates.
+        ++numUnexplained;
+        return false;
+    }
+
+    RuleKey key = ruleKeyFor(uop);
+    VoteRecord &record = voteRecords[key];
+    if (record.installedAlready)
+        return false;
+    ++record.votes[explaining];
+    ++record.total;
+    if (record.example.empty())
+        record.example = uop.toString();
+
+    if (record.total >= cfg.installThreshold) {
+        // Install the winning action if it is sufficiently dominant.
+        RuleAction best = RuleAction::Clear;
+        uint64_t best_votes = 0;
+        for (const auto &[action, count] : record.votes) {
+            if (count > best_votes) {
+                best = action;
+                best_votes = count;
+            }
+        }
+        if (static_cast<double>(best_votes) / record.total >=
+            cfg.consistency) {
+            TrackRule rule;
+            rule.key = key;
+            rule.action = best;
+            rule.example = record.example;
+            rule.codeExample = "(checker-constructed)";
+            rule.expertSeeded = false;
+            rules.install(rule);
+            installed.push_back({key, best, best_votes, record.example});
+            record.installedAlready = true;
+        }
+    }
+    return false;
+}
+
+} // namespace chex

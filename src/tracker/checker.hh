@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The hardware checker co-processor (Section V-A): validates the
+ * rule-based tracker at run time by exhaustively resolving each
+ * micro-op's result value against the shadow capability table, and
+ * *constructs* pointer-tracking rules automatically — when a rule is
+ * missing for a micro-op class whose results consistently resolve to
+ * tracked blocks, the checker infers which propagation action
+ * explains the observations and installs it after enough votes.
+ */
+
+#ifndef CHEX_TRACKER_CHECKER_HH
+#define CHEX_TRACKER_CHECKER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cap/cap_table.hh"
+#include "tracker/rules.hh"
+
+namespace chex
+{
+
+/** A rule the checker constructed, with its supporting evidence. */
+struct ConstructedRule
+{
+    RuleKey key;
+    RuleAction action;
+    uint64_t votes = 0;
+    std::string exampleUop;
+};
+
+/** Configuration of the rule-construction vote machinery. */
+struct CheckerConfig
+{
+    uint64_t installThreshold = 16;  // votes needed to install
+    double consistency = 0.9;        // fraction that must agree
+};
+
+/** The hardware checker co-processor. */
+class HardwareChecker
+{
+  public:
+    HardwareChecker(const CapabilityTable &caps, RuleDatabase &rules,
+                    const CheckerConfig &cfg = {});
+
+    /**
+     * Observe one executed register-writing micro-op.
+     * @param uop The micro-op.
+     * @param src1_pid PID tag of the first register source.
+     * @param src2_pid PID tag of the second register source.
+     * @param predicted_dst The tracker's predicted destination PID.
+     * @param result_value The architected result value.
+     * @return true if the prediction matched the exhaustive search.
+     */
+    bool observe(const StaticUop &uop, Pid src1_pid, Pid src2_pid,
+                 Pid predicted_dst, uint64_t result_value);
+
+    uint64_t validations() const { return numValidations; }
+    uint64_t mismatches() const { return numMismatches; }
+    double
+    matchRate() const
+    {
+        return numValidations
+                   ? 1.0 - static_cast<double>(numMismatches) /
+                               numValidations
+                   : 1.0;
+    }
+
+    /** Rules installed by this checker (for Table I regeneration). */
+    const std::vector<ConstructedRule> &constructedRules() const
+    {
+        return installed;
+    }
+
+    /**
+     * Mismatches that no candidate action could explain: the cases
+     * the paper escalates to manual intervention.
+     */
+    uint64_t manualInterventions() const { return numUnexplained; }
+
+  private:
+    struct VoteRecord
+    {
+        std::map<RuleAction, uint64_t> votes;
+        uint64_t total = 0;
+        std::string example;
+        bool installedAlready = false;
+    };
+
+    const CapabilityTable &caps;
+    RuleDatabase &rules;
+    CheckerConfig cfg;
+    std::map<RuleKey, VoteRecord> voteRecords;
+    std::vector<ConstructedRule> installed;
+
+    uint64_t numValidations = 0;
+    uint64_t numMismatches = 0;
+    uint64_t numUnexplained = 0;
+};
+
+} // namespace chex
+
+#endif // CHEX_TRACKER_CHECKER_HH

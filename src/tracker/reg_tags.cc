@@ -1,0 +1,79 @@
+#include "reg_tags.hh"
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+RegTagFile::RegTagFile() = default;
+
+Pid
+RegTagFile::current(RegId reg) const
+{
+    chex_assert(reg < NumArchRegs, "bad register");
+    const RegTag &t = tags[reg];
+    if (!t.transients.empty())
+        return t.transients.back().pid;
+    return t.finalized;
+}
+
+Pid
+RegTagFile::committed(RegId reg) const
+{
+    chex_assert(reg < NumArchRegs, "bad register");
+    return tags[reg].finalized;
+}
+
+void
+RegTagFile::write(RegId reg, Pid pid, uint64_t seq)
+{
+    chex_assert(reg < NumArchRegs, "bad register");
+    RegTag &t = tags[reg];
+    chex_assert(t.transients.empty() || t.transients.back().seq < seq,
+                "out-of-order transient write");
+    t.transients.push_back({seq, pid});
+}
+
+void
+RegTagFile::commitUpTo(uint64_t seq)
+{
+    for (auto &t : tags) {
+        size_t n = 0;
+        while (n < t.transients.size() && t.transients[n].seq <= seq)
+            ++n;
+        if (n > 0) {
+            t.finalized = t.transients[n - 1].pid;
+            t.transients.erase(t.transients.begin(),
+                               t.transients.begin() + n);
+        }
+    }
+}
+
+void
+RegTagFile::squashAfter(uint64_t seq)
+{
+    for (auto &t : tags) {
+        while (!t.transients.empty() && t.transients.back().seq > seq)
+            t.transients.pop_back();
+    }
+}
+
+size_t
+RegTagFile::transientCount() const
+{
+    size_t n = 0;
+    for (const auto &t : tags)
+        n += t.transients.size();
+    return n;
+}
+
+void
+RegTagFile::clear()
+{
+    for (auto &t : tags) {
+        t.finalized = NoPid;
+        t.transients.clear();
+    }
+}
+
+} // namespace chex

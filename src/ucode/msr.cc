@@ -1,0 +1,42 @@
+#include "msr.hh"
+
+namespace chex
+{
+
+bool
+MsrFile::registerFunction(IntrinsicKind kind, uint64_t entry_addr,
+                          uint64_t exit_addr)
+{
+    if (entries.size() >= MaxRegistered)
+        return false;
+    entries[entry_addr] = kind;
+    exits[exit_addr] = kind;
+    return true;
+}
+
+std::optional<IntrinsicKind>
+MsrFile::entryAt(uint64_t addr) const
+{
+    auto it = entries.find(addr);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<IntrinsicKind>
+MsrFile::exitAt(uint64_t addr) const
+{
+    auto it = exits.find(addr);
+    if (it == exits.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+MsrFile::clear()
+{
+    entries.clear();
+    exits.clear();
+}
+
+} // namespace chex

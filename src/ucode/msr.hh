@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The model-specific-register file used to configure CHEx86 at
+ * process scheduling time (Section IV-C): the OS kernel registers
+ * the entry and exit points of the process's heap-management
+ * functions (with their argument signatures implied by the function
+ * kind) so the microcode customization unit can intercept
+ * allocation and de-allocation events. There is a model-specific
+ * limit on how many entry/exit pairs can be registered per process;
+ * the MSRs are saved/restored on context switch (not modelled).
+ */
+
+#ifndef CHEX_UCODE_MSR_HH
+#define CHEX_UCODE_MSR_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "isa/insts.hh"
+
+namespace chex
+{
+
+/** Registered heap-management function interception points. */
+class MsrFile
+{
+  public:
+    /** Model-specific registration limit. */
+    static constexpr unsigned MaxRegistered = 16;
+
+    /**
+     * Register a heap function's entry and exit instruction
+     * addresses (privileged wrmsr). @return false if the
+     * model-specific limit is exhausted.
+     */
+    bool registerFunction(IntrinsicKind kind, uint64_t entry_addr,
+                          uint64_t exit_addr);
+
+    /** Kind registered with entry point @p addr, if any. */
+    std::optional<IntrinsicKind> entryAt(uint64_t addr) const;
+
+    /** Kind registered with exit point @p addr, if any. */
+    std::optional<IntrinsicKind> exitAt(uint64_t addr) const;
+
+    unsigned registeredCount() const
+    {
+        return static_cast<unsigned>(entries.size());
+    }
+
+    void clear();
+
+  private:
+    std::unordered_map<uint64_t, IntrinsicKind> entries;
+    std::unordered_map<uint64_t, IntrinsicKind> exits;
+};
+
+} // namespace chex
+
+#endif // CHEX_UCODE_MSR_HH

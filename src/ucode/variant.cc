@@ -1,0 +1,104 @@
+#include "variant.hh"
+
+namespace chex
+{
+
+const char *
+variantName(VariantKind kind)
+{
+    switch (kind) {
+      case VariantKind::Baseline: return "Insecure BaseLine";
+      case VariantKind::HardwareOnly: return "CHEx86: Hardware Only";
+      case VariantKind::BinaryTranslation:
+        return "CHEx86: Binary Translation";
+      case VariantKind::MicrocodeAlwaysOn:
+        return "CHEx86: Micro-code Level - Always On";
+      case VariantKind::MicrocodePrediction:
+        return "CHEx86: Micro-code Prediction Driven";
+      case VariantKind::Asan: return "ASan";
+      default: return "???";
+    }
+}
+
+std::vector<SyntheticMacro>
+asanCheckSequence(const MemOperand &mem, uint64_t shadow_base)
+{
+    std::vector<SyntheticMacro> macros(4);
+
+    // lea t1, [mem]
+    StaticUop lea;
+    lea.type = UopType::Lea;
+    lea.dst = T1;
+    lea.mem = mem;
+    lea.hasMem = true;
+    lea.synthetic = true;
+    macros[0].uops.push_back(lea);
+
+    // shr t1, 3
+    StaticUop shr;
+    shr.type = UopType::IntAlu;
+    shr.op = AluOp::Shr;
+    shr.dst = T1;
+    shr.src1 = T1;
+    shr.imm = 3;
+    shr.useImm = true;
+    shr.synthetic = true;
+    macros[1].uops.push_back(shr);
+
+    // mov t2, byte [t1 + shadowBase]
+    StaticUop ld;
+    ld.type = UopType::Load;
+    ld.dst = T2;
+    ld.mem.base = T1;
+    ld.mem.disp = static_cast<int64_t>(shadow_base);
+    ld.hasMem = true;
+    ld.memSize = 1;
+    ld.synthetic = true;
+    macros[2].uops.push_back(ld);
+
+    // cmp t2, 0 (result to t2, keeping the program's FLAGS intact)
+    StaticUop cmp;
+    cmp.type = UopType::IntAlu;
+    cmp.op = AluOp::Cmp;
+    cmp.dst = T2;
+    cmp.src1 = T2;
+    cmp.imm = 0;
+    cmp.useImm = true;
+    cmp.synthetic = true;
+    macros[2].uops.push_back(cmp);
+
+    // jne __asan_report (never taken in violation-free runs, but a
+    // real instruction occupying fetch/issue/BTB resources).
+    StaticUop jne;
+    jne.type = UopType::Branch;
+    jne.cc = CondCode::NE;
+    jne.src1 = T2;
+    jne.synthetic = true;
+    macros[3].uops.push_back(jne);
+
+    return macros;
+}
+
+SyntheticMacro
+btCheckSequence(const MemOperand &mem)
+{
+    SyntheticMacro macro;
+
+    StaticUop lea;
+    lea.type = UopType::Lea;
+    lea.dst = T1;
+    lea.mem = mem;
+    lea.hasMem = true;
+    lea.synthetic = true;
+    macro.uops.push_back(lea);
+
+    StaticUop check;
+    check.type = UopType::CapCheck;
+    check.src1 = T1;
+    check.synthetic = true;
+    macro.uops.push_back(check);
+
+    return macro;
+}
+
+} // namespace chex

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Enforcement-variant definitions: the design points compared in
+ * Figure 6 — the insecure baseline, the hardware-only scheme
+ * (capability checks folded into the load/store unit), the binary
+ * translation-driven scheme (macro-level instrumentation of every
+ * register-memory instruction), the microcode-level always-on
+ * scheme, the prediction-driven microcode scheme (the CHEx86
+ * default), and a model of LLVM AddressSanitizer (the software
+ * state of the art the paper compares against).
+ */
+
+#ifndef CHEX_UCODE_VARIANT_HH
+#define CHEX_UCODE_VARIANT_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "isa/uops.hh"
+
+namespace chex
+{
+
+/** The six evaluated enforcement schemes. */
+enum class VariantKind : uint8_t
+{
+    Baseline,            // insecure
+    HardwareOnly,        // checks in the LSU, no instrumentation
+    BinaryTranslation,   // macro-level instrumentation
+    MicrocodeAlwaysOn,   // capCheck on every load/store micro-op
+    MicrocodePrediction, // on-demand, prediction-driven (default)
+    Asan,                // AddressSanitizer model
+};
+
+/** Printable variant name (Figure 6 legend). */
+const char *variantName(VariantKind kind);
+
+/** True for the variants that use capability machinery. */
+constexpr bool
+usesCapabilities(VariantKind kind)
+{
+    return kind == VariantKind::HardwareOnly ||
+           kind == VariantKind::BinaryTranslation ||
+           kind == VariantKind::MicrocodeAlwaysOn ||
+           kind == VariantKind::MicrocodePrediction;
+}
+
+/** A half-open PC range marked security-critical. */
+struct CodeRegion
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool contains(uint64_t pc) const { return pc >= lo && pc < hi; }
+};
+
+/** Variant configuration. */
+struct VariantConfig
+{
+    VariantKind kind = VariantKind::MicrocodePrediction;
+
+    /** Stop the simulated program at the first flagged violation. */
+    bool haltOnViolation = true;
+
+    /**
+     * Context-sensitive enforcement: when non-empty, capCheck
+     * micro-ops are injected only for dereferences inside these
+     * regions (allocations are always tracked). Empty = protect
+     * everything.
+     */
+    std::vector<CodeRegion> criticalRegions;
+
+    /** Binary-translation warmup cost per new static instruction. */
+    unsigned btTranslationCycles = 40;
+
+    /** ASan model: shadow-memory base in the simulated VA space. */
+    uint64_t asanShadowBase = 0x7fff8000ull << 16;
+
+    bool
+    pcIsCritical(uint64_t pc) const
+    {
+        if (criticalRegions.empty())
+            return true;
+        for (const auto &r : criticalRegions)
+            if (r.contains(pc))
+                return true;
+        return false;
+    }
+};
+
+/**
+ * A synthetic macro-instruction inserted by macro-level
+ * instrumentation (binary translation / ASan). Consumes a fetch
+ * slot like a real instruction.
+ */
+struct SyntheticMacro
+{
+    std::vector<StaticUop> uops;
+};
+
+/**
+ * The AddressSanitizer check sequence for one memory operand:
+ *   lea   t1, [mem]          ; recompute the address
+ *   shr   t1, 3              ; shadow index
+ *   mov   t2, [t1 + shadowBase] (byte load)
+ *   cmp   t2, 0 -> t2        ; poisoned? (branch folded; always
+ *                              well-predicted in violation-free runs)
+ * Modelled as three synthetic macros totalling four micro-ops.
+ */
+std::vector<SyntheticMacro> asanCheckSequence(const MemOperand &mem,
+                                              uint64_t shadow_base);
+
+/**
+ * The binary-translation check: one extra macro-instruction using a
+ * secure ISA extension —
+ *   lea      t1, [mem]
+ *   capcheck t1
+ */
+SyntheticMacro btCheckSequence(const MemOperand &mem);
+
+} // namespace chex
+
+#endif // CHEX_UCODE_VARIANT_HH

@@ -1,0 +1,394 @@
+#include "generator.hh"
+
+#include <algorithm>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "isa/assembler.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+uint64_t
+nameHash(const std::string &name)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : name)
+        h = (h ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+    return h;
+}
+
+} // anonymous namespace
+
+Program
+generateWorkload(const BenchmarkProfile &p, uint64_t seed)
+{
+    Random rng(seed ^ nameHash(p.name));
+    Assembler as;
+
+    const unsigned n = static_cast<unsigned>(
+        std::max<uint64_t>(p.maxLiveBuffers, 1));
+    const unsigned w =
+        std::min(std::max(p.buffersInUse, 1u), n);
+    const unsigned sched_len = p.scheduleLength;
+    const bool chase = p.chaseDepth > 0;
+    const unsigned num_offsets =
+        std::max<unsigned>(1, static_cast<unsigned>(p.allocSizeMin / 8) - 2);
+
+    // Globals.
+    uint64_t bufs_addr = as.addGlobal("bufs", n * 8ull);
+    uint64_t sizes_addr = as.addGlobal("sizes", n * 8ull);
+    uint64_t sched_addr = as.addGlobal("schedule", sched_len * 8ull);
+    (void)bufs_addr;
+    (void)sizes_addr;
+    (void)sched_addr;
+    uint64_t pool_bufs = as.poolSlotFor("bufs");
+    uint64_t pool_sizes = as.poolSlotFor("sizes");
+    uint64_t pool_sched = as.poolSlotFor("schedule");
+
+    // Per-slot allocation sizes (8-aligned, heavy small-size skew).
+    std::vector<uint64_t> sizes(n);
+    for (auto &s : sizes) {
+        s = roundUp(rng.skewedSize(p.allocSizeMin, p.allocSizeMax), 8);
+        s = std::min(s, p.allocSizeMax);
+    }
+    as.setInitWords(sizes_addr, sizes);
+
+    // Phase-structured schedule: each 256-entry phase dwells in a
+    // w-wide window of slots and follows the dominant pattern
+    // within it, so "allocations in use" per interval stays near w
+    // while all n slots get touched across phases.
+    std::vector<uint64_t> schedule(sched_len);
+    const unsigned phase_len = std::min<unsigned>(256, sched_len);
+    PatternParams pp;
+    pp.numBuffers = w;
+    pp.length = phase_len;
+    pp.batchLen = 4;
+    pp.period = std::min(4u, std::max(2u, w));
+    pp.stride = 1;
+    unsigned pos = 0, phase = 0;
+    while (pos < sched_len) {
+        unsigned base = (phase * std::max(1u, w / 2 + 1)) % n;
+        auto pat = generateSchedule(p.dominantPattern, pp, rng);
+        for (unsigned i = 0; i < phase_len && pos < sched_len; ++i)
+            schedule[pos++] = (base + pat[i]) % n;
+        ++phase;
+    }
+    as.setInitWords(sched_addr, schedule);
+
+    // Turnover cadence to reach the profile's total allocations
+    // (the turnover check runs once per 4x-unrolled loop trip).
+    uint64_t loop_trips = std::max<uint64_t>(1, p.iterations / 4);
+    uint64_t turnovers =
+        p.totalAllocations > n ? p.totalAllocations - n : 0;
+    uint64_t turnover_period =
+        turnovers > 0 ? std::max<uint64_t>(1, loop_trips / turnovers)
+                      : p.iterations + 1;
+
+    const bool use_calloc = p.fpFraction > 0.4;
+    const unsigned n_fp =
+        static_cast<unsigned>(p.fpFraction * 10.0 + 0.5);
+    const unsigned n_scalar =
+        static_cast<unsigned>((1.0 - p.pointerIntensity) * 12.0 + 0.5);
+    const unsigned n_branches =
+        std::max<unsigned>(1,
+                           static_cast<unsigned>(p.branchiness * 2 + 0.5));
+
+    // ---- Prologue: pool loads ----
+    as.movrm(R13, memRip(pool_sched));
+    as.movrm(R14, memRip(pool_bufs));
+    as.movrm(R10, memRip(pool_sizes));
+
+    // Emits a store loop writing the first allocSizeMin bytes of the
+    // buffer in RAX — programs initialize their data before use (and
+    // the uninitialized-read extension relies on it).
+    // Only the region the loop body actually touches needs
+    // initialization (offsets up to ~8*(accessesPerVisit+2)).
+    const uint64_t init_words =
+        std::min<uint64_t>(p.allocSizeMin / 8,
+                           p.accessesPerVisit + 4);
+    auto emit_init_loop = [&]() {
+        auto init = as.newLabel();
+        auto init_done = as.newLabel();
+        as.movri(RCX, 0);
+        as.bind(init);
+        as.cmpri(RCX, static_cast<int64_t>(init_words));
+        as.jcc(CondCode::AE, init_done);
+        as.movmr(memAt(RAX, 0, RCX, 8), RCX);
+        as.addri(RCX, 1);
+        as.jmp(init);
+        as.bind(init_done);
+    };
+
+    // ---- Allocation loop ----
+    auto alloc_loop = as.newLabel();
+    as.movri(RBX, 0);
+    as.bind(alloc_loop);
+    if (use_calloc) {
+        as.movrm(RSI, memAt(R10, 0, RBX, 8));
+        as.movri(RDI, 1);
+        as.call(IntrinsicKind::Calloc);
+    } else {
+        as.movrm(RDI, memAt(R10, 0, RBX, 8));
+        as.call(IntrinsicKind::Malloc);
+        emit_init_loop();
+    }
+    as.movmr(memAt(R14, 0, RBX, 8), RAX); // spill: alias created
+    as.addri(RBX, 1);
+    as.cmpri(RBX, n);
+    as.jcc(CondCode::LT, alloc_loop);
+
+    // ---- Chase-chain linking: bufs[i]->next = bufs[(i+1)%n] ----
+    if (chase) {
+        auto link_loop = as.newLabel();
+        auto no_wrap = as.newLabel();
+        as.movri(RBX, 0);
+        as.bind(link_loop);
+        as.movrm(RAX, memAt(R14, 0, RBX, 8));
+        as.movrr(RCX, RBX);
+        as.addri(RCX, 1);
+        as.cmpri(RCX, n);
+        as.jcc(CondCode::LT, no_wrap);
+        as.movri(RCX, 0);
+        as.bind(no_wrap);
+        as.movrm(RDX, memAt(R14, 0, RCX, 8));
+        as.movmr(memAt(RAX, 0), RDX); // heap-resident spilled pointer
+        as.addri(RBX, 1);
+        as.cmpri(RBX, n);
+        as.jcc(CondCode::LT, link_loop);
+    }
+
+    // ---- Main loop registers ----
+    // The body is unrolled (as -O3 compilers do): each unrolled copy
+    // owns a distinct reload PC, so a Repeat-pattern schedule makes
+    // every copy's reload near-Constant — exactly the structure of
+    // the paper's Listings 1 and 2, where each call site touches its
+    // own buffer.
+    constexpr unsigned Unroll = 4;
+    as.movri(R12, 0);                            // schedule cursor
+    as.movri(R15, static_cast<int64_t>(
+                      std::max<uint64_t>(1, p.iterations / Unroll)));
+    as.movri(R8, static_cast<int64_t>(turnover_period));
+    as.movri(R9, 0);                             // turnover victim
+    as.movri(RDX, 1);                            // scalar accumulator
+
+    auto main_loop = as.newLabel();
+    as.bind(main_loop);
+
+    for (unsigned copy = 0; copy < Unroll; ++copy) {
+        // Scheduled pointer reload (the PC the predictor learns).
+        as.movrm(RAX, memAt(R13, 0, R12, 8));
+        as.movrm(RBX, memAt(R14, 0, RAX, 8));
+
+        // Heap accesses through the tagged buffer pointer.
+        for (unsigned k = 0; k < p.accessesPerVisit; ++k) {
+            int64_t off = 8 + 8 * (k % num_offsets);
+            switch (k % 4) {
+              case 0:
+                as.movrm(RCX, memAt(RBX, off));
+                break;
+              case 1:
+                as.addri(RCX, static_cast<int64_t>(k) + 3);
+                as.movmr(memAt(RBX, off), RCX);
+                break;
+              case 2:
+                as.addmi(memAt(RBX, off), 1); // ld-op-st cracking
+                break;
+              default:
+                as.addrm(RCX, memAt(RBX, off)); // ld-op cracking
+                break;
+            }
+        }
+
+        // Pointer chasing (mcf/canneal style): each hop reloads a
+        // heap-resident spilled pointer.
+        for (unsigned c = 0; c < p.chaseDepth; ++c) {
+            as.movrm(RBX, memAt(RBX, 0));
+            as.movrm(RCX, memAt(RBX, 8));
+        }
+
+        // Explicit pointer arithmetic: real code derives interior
+        // pointers in registers (field addresses, alignment masks),
+        // exercising the MOV/ADD/LEA/AND/SUB rules of Table I and
+        // giving the hardware checker material to validate.
+        as.movrr(RSI, RBX);            // MOV: ptr copy
+        as.addri(RSI, 8);              // ADD: field pointer
+        as.movrm(RCX, memAt(RSI, 0));  // deref via derived pointer
+        as.lea(RSI, memAt(RBX, 16));   // LEA: &buf->field2
+        as.movrm(RCX, memAt(RSI, 0));
+        as.andri(RSI, -8);             // AND: alignment mask
+        as.subri(RSI, 8);              // SUB: back one slot
+        as.movrm(RCX, memAt(RSI, 0));
+
+        // Data-dependent branches (on slowly varying value bits, as
+        // in real mostly-predictable data-dependent control flow).
+        for (unsigned b = 0; b < n_branches; ++b) {
+            auto skip = as.newLabel();
+            as.testri(RCX, 0x100ll << (b + copy));
+            as.jcc(CondCode::EQ, skip);
+            as.addri(RDX, 1);
+            as.bind(skip);
+        }
+
+        // Floating-point block.
+        if (n_fp > 0) {
+            as.fcvtri(XMM0, RCX);
+            for (unsigned f = 0; f < n_fp; ++f) {
+                switch (f % 3) {
+                  case 0:
+                    as.faddrr(XMM1, XMM0);
+                    break;
+                  case 1:
+                    as.fmulrr(XMM2, XMM1);
+                    break;
+                  default:
+                    as.faddrr(XMM0, XMM2);
+                    break;
+                }
+            }
+            as.fmovmr(memAt(RBX, 8), XMM2); // FP store to the heap
+        }
+
+        // Scalar block: real programs spend most of their dynamic
+        // instructions on scalar/control/stack work around the
+        // pointer accesses.
+        for (unsigned s = 0; s < 8 + n_scalar; ++s) {
+            switch (s % 6) {
+              case 0: as.addri(RDX, 3); break;
+              case 1: as.imulri(RDX, 5); break;
+              case 2: as.xorri(RDX, 0x5555); break;
+              case 3: as.shlri(RDX, 1); break;
+              case 4: as.addrr(RDX, RCX); break;
+              default: as.orri(RDX, 1); break;
+            }
+        }
+        as.pushr(RDX);
+        as.movmr(memAt(RSP, -16), RCX); // spill a temp to the frame
+        as.movrm(RCX, memAt(RSP, -16));
+        as.addrm(RDX, memAt(RSP, 0));
+        as.popr(RDX);
+
+        // Advance the schedule cursor for the next unrolled copy.
+        auto no_wrap_u = as.newLabel();
+        as.addri(R12, 1);
+        as.cmpri(R12, sched_len);
+        as.jcc(CondCode::LT, no_wrap_u);
+        as.movri(R12, 0);
+        as.bind(no_wrap_u);
+    }
+
+    // ---- Turnover: free + reallocate the victim slot ----
+    {
+        auto skip_turn = as.newLabel();
+        as.subri(R8, 1);
+        as.cmpri(R8, 0);
+        as.jcc(CondCode::NE, skip_turn);
+        as.movri(R8, static_cast<int64_t>(turnover_period));
+
+        as.movrm(RDI, memAt(R14, 0, R9, 8));
+        as.call(IntrinsicKind::Free);
+        as.movrm(RDX, memRip(pool_sizes));
+        as.movrm(RDI, memAt(RDX, 0, R9, 8));
+        as.call(IntrinsicKind::Malloc);
+        emit_init_loop();
+        as.movmr(memAt(R14, 0, R9, 8), RAX);
+
+        if (chase) {
+            // prev->next = new
+            auto no_wrap_p = as.newLabel();
+            as.movrr(RCX, R9);
+            as.cmpri(RCX, 0);
+            as.jcc(CondCode::NE, no_wrap_p);
+            as.movri(RCX, static_cast<int64_t>(n));
+            as.bind(no_wrap_p);
+            as.subri(RCX, 1);
+            as.movrm(RDX, memAt(R14, 0, RCX, 8));
+            as.movmr(memAt(RDX, 0), RAX);
+            // new->next = next
+            auto no_wrap_n = as.newLabel();
+            as.movrr(RCX, R9);
+            as.addri(RCX, 1);
+            as.cmpri(RCX, n);
+            as.jcc(CondCode::LT, no_wrap_n);
+            as.movri(RCX, 0);
+            as.bind(no_wrap_n);
+            as.movrm(RDX, memAt(R14, 0, RCX, 8));
+            as.movmr(memAt(RAX, 0), RDX);
+        }
+
+        auto no_wrap_v = as.newLabel();
+        as.addri(R9, 1);
+        as.cmpri(R9, n);
+        as.jcc(CondCode::LT, no_wrap_v);
+        as.movri(R9, 0);
+        as.bind(no_wrap_v);
+        // Reset the scalar accumulator clobbered above.
+        as.movri(RDX, 1);
+        as.bind(skip_turn);
+    }
+
+    // ---- Iterate ----
+    as.subri(R15, 1);
+    as.cmpri(R15, 0);
+    as.jcc(CondCode::NE, main_loop);
+
+    // Sink the accumulator so the loop body has a live output.
+    as.movrr(RDI, RDX);
+    as.call(IntrinsicKind::PrintVal);
+    as.hlt();
+
+    return as.finalize();
+}
+
+Program
+generateSmokeProgram(unsigned buffers, uint64_t buffer_size)
+{
+    Assembler as;
+    uint64_t bufs = as.addGlobal("bufs", buffers * 8ull);
+    (void)bufs;
+    uint64_t pool_bufs = as.poolSlotFor("bufs");
+
+    as.movrm(R14, memRip(pool_bufs));
+
+    // Allocate.
+    auto alloc_loop = as.newLabel();
+    as.movri(RBX, 0);
+    as.bind(alloc_loop);
+    as.movri(RDI, static_cast<int64_t>(buffer_size));
+    as.call(IntrinsicKind::Malloc);
+    as.movmr(memAt(R14, 0, RBX, 8), RAX);
+    as.addri(RBX, 1);
+    as.cmpri(RBX, buffers);
+    as.jcc(CondCode::LT, alloc_loop);
+
+    // Touch each buffer.
+    auto touch_loop = as.newLabel();
+    as.movri(RBX, 0);
+    as.bind(touch_loop);
+    as.movrm(RCX, memAt(R14, 0, RBX, 8));
+    as.movmi(memAt(RCX, 0), 42);
+    as.movrm(RDX, memAt(RCX, 0));
+    as.addmi(memAt(RCX, 8), 1);
+    as.addri(RBX, 1);
+    as.cmpri(RBX, buffers);
+    as.jcc(CondCode::LT, touch_loop);
+
+    // Free everything.
+    auto free_loop = as.newLabel();
+    as.movri(RBX, 0);
+    as.bind(free_loop);
+    as.movrm(RDI, memAt(R14, 0, RBX, 8));
+    as.call(IntrinsicKind::Free);
+    as.addri(RBX, 1);
+    as.cmpri(RBX, buffers);
+    as.jcc(CondCode::LT, free_loop);
+
+    as.hlt();
+    return as.finalize();
+}
+
+} // namespace chex

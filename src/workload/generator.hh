@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The synthetic-workload generator: builds a runnable program whose
+ * allocation volume, live set, pointer intensity, spill/reload
+ * behaviour, temporal pointer-access pattern, FP mix, and
+ * branchiness follow a BenchmarkProfile — the simulated stand-in
+ * for compiling and SimPointing the real SPEC/PARSEC binaries.
+ *
+ * Shape of the generated program:
+ *   - a global pointer array `bufs[maxLive]` (every slot write is a
+ *     spilled-pointer alias; every slot read is a reload),
+ *   - a data-driven access schedule following the profile's
+ *     Table II pattern,
+ *   - an allocation prologue, optional pointer-chase linking,
+ *   - a main loop that reloads a scheduled buffer pointer,
+ *     dereferences it (checked accesses), chases links, does FP and
+ *     scalar work, and periodically frees + reallocates a slot to
+ *     reach the profile's total allocation count.
+ */
+
+#ifndef CHEX_WORKLOAD_GENERATOR_HH
+#define CHEX_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+#include "workload/profiles.hh"
+
+namespace chex
+{
+
+/** Build the synthetic twin of @p profile. */
+Program generateWorkload(const BenchmarkProfile &profile,
+                         uint64_t seed = 1);
+
+/**
+ * A minimal pointer-workout program (used by quickstart/examples):
+ * allocates @p buffers buffers, writes and reads each, frees them,
+ * and exits.
+ */
+Program generateSmokeProgram(unsigned buffers = 4,
+                             uint64_t buffer_size = 256);
+
+} // namespace chex
+
+#endif // CHEX_WORKLOAD_GENERATOR_HH

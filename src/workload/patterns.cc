@@ -1,0 +1,267 @@
+#include "patterns.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+const char *
+patternName(PatternKind kind)
+{
+    switch (kind) {
+      case PatternKind::Constant: return "Constant";
+      case PatternKind::Stride: return "Stride";
+      case PatternKind::BatchStride: return "Batch + Stride";
+      case PatternKind::BatchNoStride: return "Batch + No Stride";
+      case PatternKind::RepeatStride: return "Repeat + Stride";
+      case PatternKind::RepeatNoStride: return "Repeat + No Stride";
+      case PatternKind::RandomStride: return "Random + Stride";
+      case PatternKind::RandomNoStride: return "Random + No Stride";
+      default: return "???";
+    }
+}
+
+std::vector<unsigned>
+generateSchedule(PatternKind kind, const PatternParams &params,
+                 Random &rng)
+{
+    chex_assert(params.numBuffers > 0 && params.length > 0,
+                "bad pattern params");
+    std::vector<unsigned> out;
+    out.reserve(params.length);
+    unsigned n = params.numBuffers;
+    unsigned start = static_cast<unsigned>(rng.uniform(0, n - 1));
+
+    auto wrap = [&](int64_t v) {
+        int64_t m = static_cast<int64_t>(n);
+        return static_cast<unsigned>(((v % m) + m) % m);
+    };
+
+    switch (kind) {
+      case PatternKind::Constant:
+        out.assign(params.length, start);
+        break;
+
+      case PatternKind::Stride:
+        for (unsigned i = 0; i < params.length; ++i)
+            out.push_back(wrap(start +
+                               static_cast<int64_t>(i) * params.stride));
+        break;
+
+      case PatternKind::BatchStride: {
+        unsigned batches = (params.length + params.batchLen - 1) /
+                           params.batchLen;
+        for (unsigned b = 0; b < batches; ++b) {
+            unsigned v = wrap(start +
+                              static_cast<int64_t>(b) * params.stride);
+            for (unsigned k = 0;
+                 k < params.batchLen && out.size() < params.length; ++k)
+                out.push_back(v);
+        }
+        break;
+      }
+
+      case PatternKind::BatchNoStride: {
+        while (out.size() < params.length) {
+            unsigned v = static_cast<unsigned>(rng.uniform(0, n - 1));
+            for (unsigned k = 0;
+                 k < params.batchLen && out.size() < params.length; ++k)
+                out.push_back(v);
+        }
+        break;
+      }
+
+      case PatternKind::RepeatStride:
+        for (unsigned i = 0; i < params.length; ++i) {
+            unsigned phase = i % params.period;
+            out.push_back(wrap(start + static_cast<int64_t>(phase) *
+                                           params.stride));
+        }
+        break;
+
+      case PatternKind::RepeatNoStride: {
+        std::vector<unsigned> cycle;
+        for (unsigned k = 0; k < params.period; ++k) {
+            unsigned v;
+            do {
+                v = static_cast<unsigned>(rng.uniform(0, n - 1));
+            } while (std::find(cycle.begin(), cycle.end(), v) !=
+                         cycle.end() &&
+                     cycle.size() < n);
+            cycle.push_back(v);
+        }
+        for (unsigned i = 0; i < params.length; ++i)
+            out.push_back(cycle[i % cycle.size()]);
+        break;
+      }
+
+      case PatternKind::RandomStride: {
+        int64_t v = start;
+        for (unsigned i = 0; i < params.length; ++i) {
+            out.push_back(wrap(v));
+            // Small local steps: random order but striding locality.
+            v += static_cast<int64_t>(rng.uniform(0, 6)) - 3;
+        }
+        break;
+      }
+
+      case PatternKind::RandomNoStride:
+      default:
+        for (unsigned i = 0; i < params.length; ++i)
+            out.push_back(static_cast<unsigned>(rng.uniform(0, n - 1)));
+        break;
+    }
+    return out;
+}
+
+namespace
+{
+
+struct Run
+{
+    uint64_t value;
+    unsigned length;
+};
+
+std::vector<Run>
+compressRuns(const std::vector<uint64_t> &seq)
+{
+    std::vector<Run> runs;
+    for (uint64_t v : seq) {
+        if (!runs.empty() && runs.back().value == v)
+            ++runs.back().length;
+        else
+            runs.push_back({v, 1});
+    }
+    return runs;
+}
+
+} // anonymous namespace
+
+PatternClassification
+classifySequence(const std::vector<uint64_t> &seq)
+{
+    PatternClassification out;
+    if (seq.size() < 4) {
+        out.kind = PatternKind::Constant;
+        out.confidence = 0.0;
+        return out;
+    }
+
+    std::vector<Run> runs = compressRuns(seq);
+    if (runs.size() == 1) {
+        out.kind = PatternKind::Constant;
+        out.confidence = 1.0;
+        return out;
+    }
+
+    double avg_run =
+        static_cast<double>(seq.size()) / static_cast<double>(runs.size());
+    bool batched = avg_run >= 1.5;
+
+    std::vector<int64_t> values;
+    values.reserve(runs.size());
+    for (const Run &r : runs)
+        values.push_back(static_cast<int64_t>(r.value));
+
+    // Periodicity over the run-compressed values (period 2..8).
+    unsigned best_period = 0;
+    double best_period_frac = 0.0;
+    for (unsigned p = 2; p <= 8 && p * 2 <= values.size(); ++p) {
+        unsigned match = 0, total = 0;
+        for (size_t i = 0; i + p < values.size(); ++i) {
+            ++total;
+            if (values[i] == values[i + p])
+                ++match;
+        }
+        double frac = total ? static_cast<double>(match) / total : 0.0;
+        if (frac > best_period_frac) {
+            best_period_frac = frac;
+            best_period = p;
+        }
+        if (frac > 0.95)
+            break;
+    }
+    bool periodic = best_period_frac > 0.9;
+
+    // Successive-difference statistics.
+    std::map<int64_t, unsigned> diff_counts;
+    for (size_t i = 0; i + 1 < values.size(); ++i)
+        ++diff_counts[values[i + 1] - values[i]];
+    int64_t mode_diff = 0;
+    unsigned mode_count = 0;
+    unsigned small_diffs = 0;
+    unsigned total_diffs = static_cast<unsigned>(values.size() - 1);
+    for (const auto &[d, c] : diff_counts) {
+        if (c > mode_count) {
+            mode_count = c;
+            mode_diff = d;
+        }
+        if (d != 0 && (d >= -8 && d <= 8))
+            small_diffs += c;
+    }
+    double mode_frac =
+        total_diffs ? static_cast<double>(mode_count) / total_diffs : 0.0;
+
+    if (periodic) {
+        // Strided within the period? Ignore the wrap position.
+        unsigned consistent = 0, considered = 0;
+        int64_t step = values.size() > 1 ? values[1] - values[0] : 0;
+        for (size_t i = 0; i + 1 < values.size(); ++i) {
+            if ((i + 1) % best_period == 0)
+                continue; // wrap back to the period start
+            ++considered;
+            if (values[i + 1] - values[i] == step)
+                ++consistent;
+        }
+        double frac = considered
+                          ? static_cast<double>(consistent) / considered
+                          : 0.0;
+        out.period = best_period;
+        out.confidence = best_period_frac;
+        if (frac > 0.9 && step != 0) {
+            out.kind = PatternKind::RepeatStride;
+            out.stride = static_cast<int>(step);
+        } else {
+            out.kind = PatternKind::RepeatNoStride;
+        }
+        if (batched)
+            out.batchLen = static_cast<unsigned>(avg_run + 0.5);
+        return out;
+    }
+
+    if (mode_frac > 0.85 && mode_diff != 0) {
+        out.stride = static_cast<int>(mode_diff);
+        out.confidence = mode_frac;
+        if (batched) {
+            out.kind = PatternKind::BatchStride;
+            out.batchLen = static_cast<unsigned>(avg_run + 0.5);
+        } else {
+            out.kind = PatternKind::Stride;
+        }
+        return out;
+    }
+
+    if (batched) {
+        out.kind = PatternKind::BatchNoStride;
+        out.batchLen = static_cast<unsigned>(avg_run + 0.5);
+        out.confidence = avg_run / (avg_run + 1.0);
+        return out;
+    }
+
+    double small_frac =
+        total_diffs ? static_cast<double>(small_diffs) / total_diffs : 0.0;
+    if (small_frac > 0.6) {
+        out.kind = PatternKind::RandomStride;
+        out.confidence = small_frac;
+    } else {
+        out.kind = PatternKind::RandomNoStride;
+        out.confidence = 1.0 - small_frac;
+    }
+    return out;
+}
+
+} // namespace chex

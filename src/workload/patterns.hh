@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Temporal pointer-access patterns (Table II): generators that
+ * produce buffer-access schedules following each pattern class, and
+ * a classifier that recovers the class from an observed PID
+ * sequence — used both by the workload generator (to imprint
+ * realistic reload behaviour) and by the Table II bench.
+ */
+
+#ifndef CHEX_WORKLOAD_PATTERNS_HH
+#define CHEX_WORKLOAD_PATTERNS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace chex
+{
+
+/** The eight temporal patterns of Table II. */
+enum class PatternKind : uint8_t
+{
+    Constant,       // 31 31 31 31 ...
+    Stride,         // 13 16 19 22 ... (stride s)
+    BatchStride,    // 11 11 11 15 15 15 ... (batches, strided)
+    BatchNoStride,  // 22 22 22 13 99 99 ... (batches, arbitrary)
+    RepeatStride,   // 26 27 28 26 27 28 ... (repeating, strided)
+    RepeatNoStride, // 26 57 5 26 57 5 ...  (repeating, arbitrary)
+    RandomStride,   // random order, locally strided
+    RandomNoStride, // fully random
+};
+
+/** Printable pattern name as in Table II. */
+const char *patternName(PatternKind kind);
+
+/** Parameters for schedule generation. */
+struct PatternParams
+{
+    unsigned numBuffers = 16;  // distinct buffer indices available
+    unsigned length = 1024;    // schedule length
+    unsigned batchLen = 4;     // batch size (Batch* patterns)
+    unsigned period = 3;       // repeat period (Repeat* patterns)
+    int stride = 1;            // stride (strided patterns)
+};
+
+/**
+ * Generate a buffer-index schedule in [0, numBuffers) following
+ * @p kind.
+ */
+std::vector<unsigned> generateSchedule(PatternKind kind,
+                                       const PatternParams &params,
+                                       Random &rng);
+
+/** Result of classifying an observed identifier sequence. */
+struct PatternClassification
+{
+    PatternKind kind = PatternKind::RandomNoStride;
+    int stride = 0;         // meaningful for strided classes
+    unsigned batchLen = 0;  // for Batch*
+    unsigned period = 0;    // for Repeat*
+    double confidence = 0.0;
+};
+
+/**
+ * Classify a sequence of identifiers (PIDs / buffer indices) into
+ * one of the Table II classes.
+ */
+PatternClassification classifySequence(
+    const std::vector<uint64_t> &seq);
+
+} // namespace chex
+
+#endif // CHEX_WORKLOAD_PATTERNS_HH

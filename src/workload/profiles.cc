@@ -1,0 +1,131 @@
+#include "profiles.hh"
+
+#include "base/logging.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    auto add = [&](const char *name, bool parsec, uint64_t total_allocs,
+                   uint64_t max_live, unsigned in_use,
+                   PatternKind pattern, double ptr_intensity,
+                   unsigned chase, unsigned accesses, double fp,
+                   double branchy, uint64_t iters, uint64_t sz_min,
+                   uint64_t sz_max) {
+        BenchmarkProfile p;
+        p.name = name;
+        p.isParsec = parsec;
+        p.totalAllocations = total_allocs;
+        p.maxLiveBuffers = max_live;
+        p.buffersInUse = in_use;
+        p.dominantPattern = pattern;
+        p.pointerIntensity = ptr_intensity;
+        p.chaseDepth = chase;
+        p.accessesPerVisit = accesses;
+        p.fpFraction = fp;
+        p.branchiness = branchy;
+        p.iterations = iters;
+        p.allocSizeMin = sz_min;
+        p.allocSizeMax = sz_max;
+        v.push_back(p);
+    };
+
+    // SPEC CPU2017 (C/C++), Figure 6 order.
+    // perlbench: allocation-heavy interpreter; the paper notes it
+    // exhibits the most "Batch + Stride" reload patterns.
+    add("perlbench", false, 2600, 520, 40, PatternKind::BatchStride,
+        0.70, 0, 6, 0.03, 0.40, 9000, 32, 2048);
+    // gcc: many short-lived allocations, repeating pass structure.
+    add("gcc", false, 2200, 450, 30, PatternKind::RepeatStride,
+        0.62, 0, 5, 0.03, 0.45, 9000, 32, 4096);
+    // mcf: few large buffers, intense pointer chasing (the paper's
+    // worst-case pointer-intensive outlier).
+    add("mcf", false, 120, 80, 24, PatternKind::Stride,
+        0.92, 3, 8, 0.00, 0.35, 9000, 512, 16384);
+    // xalancbmk: XML DOM churn — the most allocation-intensive.
+    add("xalancbmk", false, 5200, 950, 56, PatternKind::BatchNoStride,
+        0.85, 1, 7, 0.00, 0.40, 8000, 32, 1024);
+    // deepsjeng: a few long-lived tables, repeated accesses.
+    add("deepsjeng", false, 64, 40, 10, PatternKind::Constant,
+        0.48, 0, 6, 0.02, 0.50, 11000, 1024, 32768);
+    // leela: tree search over pooled nodes, repeating visit sets.
+    add("leela", false, 340, 160, 16, PatternKind::RepeatNoStride,
+        0.66, 1, 6, 0.08, 0.45, 10000, 64, 2048);
+    // lbm: one big lattice, streamed — "Constant" reload pattern.
+    add("lbm", false, 8, 6, 3, PatternKind::Constant,
+        0.30, 0, 6, 0.60, 0.10, 12000, 16384, 65536);
+    // nab: molecular dynamics, strided array-of-structs sweeps.
+    add("nab", false, 380, 110, 12, PatternKind::Stride,
+        0.42, 0, 6, 0.50, 0.20, 11000, 256, 8192);
+
+    // PARSEC 2.1.
+    // blackscholes: tiny allocation count, pure FP kernel.
+    add("blackscholes", true, 12, 8, 4, PatternKind::Constant,
+        0.22, 0, 4, 0.70, 0.10, 13000, 4096, 65536);
+    // bodytrack: per-frame particle buffers, batch-strided.
+    add("bodytrack", true, 620, 210, 20, PatternKind::BatchStride,
+        0.40, 0, 5, 0.50, 0.25, 11000, 256, 8192);
+    // fluidanimate: grid cells swept in order.
+    add("fluidanimate", true, 900, 380, 28, PatternKind::Stride,
+        0.45, 0, 6, 0.45, 0.20, 10000, 128, 4096);
+    // freqmine: FP-tree mining, allocation-heavy, batched visits.
+    add("freqmine", true, 1600, 680, 40, PatternKind::BatchStride,
+        0.58, 1, 6, 0.05, 0.40, 9000, 32, 1024);
+    // swaptions: small repeated simulation buffers, FP-heavy.
+    add("swaptions", true, 180, 60, 10, PatternKind::RepeatStride,
+        0.30, 0, 5, 0.65, 0.15, 12000, 512, 8192);
+    // canneal: netlist elements accessed in random order — the
+    // pointer-intensive PARSEC outlier.
+    add("canneal", true, 3800, 1400, 48, PatternKind::RandomNoStride,
+        0.78, 1, 7, 0.02, 0.35, 8000, 32, 512);
+
+    return v;
+}
+
+} // anonymous namespace
+
+const std::vector<BenchmarkProfile> &
+allProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles =
+        buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : allProfiles())
+        if (p.name == name)
+            return p;
+    chex_fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+std::vector<BenchmarkProfile>
+specProfiles()
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : allProfiles())
+        if (!p.isParsec)
+            out.push_back(p);
+    return out;
+}
+
+std::vector<BenchmarkProfile>
+parsecProfiles()
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : allProfiles())
+        if (p.isParsec)
+            out.push_back(p);
+    return out;
+}
+
+} // namespace chex

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Capability-subsystem tests: 128-bit capability semantics, the
+ * two-phase generation/free protocol of Section IV-C, capCheck
+ * violation classification, the exhaustive address search used by
+ * the hardware checker, and the capability cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cap/cap_cache.hh"
+#include "cap/cap_table.hh"
+
+namespace chex
+{
+namespace
+{
+
+TEST(Capability, ContainsRespectsBounds)
+{
+    Capability c;
+    c.base = 0x1000;
+    c.bounds = 64;
+    EXPECT_TRUE(c.contains(0x1000, 8));
+    EXPECT_TRUE(c.contains(0x1038, 8)); // last word
+    EXPECT_FALSE(c.contains(0x1039, 8));
+    EXPECT_FALSE(c.contains(0xfff8, 8));
+}
+
+TEST(CapTable, TwoPhaseGeneration)
+{
+    CapabilityTable t;
+    Violation v;
+    Pid pid = t.beginGeneration(128, &v);
+    EXPECT_NE(pid, NoPid);
+    EXPECT_EQ(v, Violation::None);
+    const Capability *cap = t.find(pid);
+    ASSERT_NE(cap, nullptr);
+    EXPECT_TRUE(cap->busy());
+    EXPECT_FALSE(cap->valid());
+
+    t.endGeneration(pid, 0x5000);
+    cap = t.find(pid);
+    EXPECT_FALSE(cap->busy());
+    EXPECT_TRUE(cap->valid());
+    EXPECT_EQ(cap->base, 0x5000u);
+    EXPECT_EQ(cap->bounds, 128u);
+    EXPECT_EQ(t.liveCapabilities(), 1u);
+}
+
+TEST(CapTable, FailedAllocationNeverBecomesValid)
+{
+    CapabilityTable t;
+    Violation v;
+    Pid pid = t.beginGeneration(64, &v);
+    t.endGeneration(pid, 0); // malloc returned NULL
+    EXPECT_FALSE(t.find(pid)->valid());
+    EXPECT_EQ(t.liveCapabilities(), 0u);
+}
+
+TEST(CapTable, OversizeAllocationFlagged)
+{
+    CapabilityTable t;
+    t.setMaxAllocSize(1ull << 30);
+    Violation v;
+    Pid pid = t.beginGeneration((1ull << 30) + 1, &v);
+    EXPECT_EQ(pid, NoPid);
+    EXPECT_EQ(v, Violation::OversizeAlloc);
+}
+
+TEST(CapTable, CheckClassifiesViolations)
+{
+    CapabilityTable t;
+    Violation v;
+    Pid pid = t.beginGeneration(64, &v);
+    t.endGeneration(pid, 0x5000);
+
+    EXPECT_TRUE(t.check(pid, 0x5000, 8, false).ok());
+    EXPECT_TRUE(t.check(pid, 0x5038, 8, true).ok());
+    EXPECT_EQ(t.check(pid, 0x5040, 8, false).violation,
+              Violation::OutOfBounds);
+    EXPECT_EQ(t.check(pid, 0x4ff8, 8, false).violation,
+              Violation::OutOfBounds);
+    EXPECT_EQ(t.check(WildPid, 0x5000, 8, false).violation,
+              Violation::WildPointer);
+    EXPECT_EQ(t.check(9999, 0x5000, 8, false).violation,
+              Violation::WildPointer);
+    // PID 0 = untracked pointer: nothing to check.
+    EXPECT_TRUE(t.check(NoPid, 0x5000, 8, false).ok());
+}
+
+TEST(CapTable, FreeProtocolAndUafDetection)
+{
+    CapabilityTable t;
+    Violation v;
+    Pid pid = t.beginGeneration(64, &v);
+    t.endGeneration(pid, 0x5000);
+
+    EXPECT_EQ(t.beginFree(pid, 0x5000), Violation::None);
+    EXPECT_TRUE(t.find(pid)->busy());
+    t.endFree(pid);
+    EXPECT_FALSE(t.find(pid)->valid());
+    // Use-after-free: the capability is kept, invalid.
+    EXPECT_EQ(t.check(pid, 0x5000, 8, false).violation,
+              Violation::UseAfterFree);
+    // Double free.
+    EXPECT_EQ(t.beginFree(pid, 0x5000), Violation::DoubleFree);
+}
+
+TEST(CapTable, InvalidFreeClassification)
+{
+    CapabilityTable t;
+    Violation v;
+    Pid pid = t.beginGeneration(64, &v);
+    t.endGeneration(pid, 0x5000);
+
+    EXPECT_EQ(t.beginFree(NoPid, 0x1234), Violation::InvalidFree);
+    EXPECT_EQ(t.beginFree(WildPid, 0x1234), Violation::InvalidFree);
+    EXPECT_EQ(t.beginFree(777, 0x1234), Violation::InvalidFree);
+    // Interior pointer.
+    EXPECT_EQ(t.beginFree(pid, 0x5008), Violation::InvalidFree);
+    // Freeing a global capability.
+    Pid g = t.addGlobal("g", 0x700000, 100);
+    EXPECT_EQ(t.beginFree(g, 0x700000), Violation::InvalidFree);
+}
+
+TEST(CapTable, GlobalCapabilitiesFromSymbolTable)
+{
+    CapabilityTable t;
+    Pid g = t.addGlobal("table", 0x700000, 256);
+    EXPECT_TRUE(t.check(g, 0x700000, 8, true).ok());
+    EXPECT_EQ(t.check(g, 0x700100, 8, false).violation,
+              Violation::OutOfBounds);
+}
+
+TEST(CapTable, ExhaustiveAddressSearch)
+{
+    CapabilityTable t;
+    Violation v;
+    Pid a = t.beginGeneration(64, &v);
+    t.endGeneration(a, 0x5000);
+    Pid b = t.beginGeneration(64, &v);
+    t.endGeneration(b, 0x6000);
+
+    EXPECT_EQ(t.pidForAddress(0x5020), a);
+    EXPECT_EQ(t.pidForAddress(0x6000), b);
+    EXPECT_EQ(t.pidForAddress(0x7000), NoPid);
+    // Freed blocks remain findable (for rule validation).
+    t.beginFree(a, 0x5000);
+    t.endFree(a);
+    EXPECT_EQ(t.pidForAddress(0x5020), a);
+}
+
+TEST(CapTable, StorageScalesWithAllocations)
+{
+    CapabilityTable t;
+    Violation v;
+    for (int i = 0; i < 100; ++i) {
+        Pid p = t.beginGeneration(64, &v);
+        t.endGeneration(p, 0x10000 + 0x100 * static_cast<uint64_t>(i));
+    }
+    EXPECT_EQ(t.totalCapabilities(), 100u);
+    EXPECT_EQ(t.storageBytes(), 1600u);
+}
+
+TEST(CapCache, HitAfterFill)
+{
+    CapabilityCache c(4);
+    EXPECT_FALSE(c.lookup(1)); // miss fills
+    EXPECT_TRUE(c.lookup(1));
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(CapCache, InvalidationOnFree)
+{
+    CapabilityCache c(4);
+    c.lookup(1);
+    c.invalidate(1);
+    EXPECT_EQ(c.invalidationsSent(), 1u);
+    EXPECT_FALSE(c.lookup(1)); // must re-fill after invalidation
+}
+
+TEST(CapCache, CapacityEviction)
+{
+    CapabilityCache c(2);
+    c.lookup(1);
+    c.lookup(2);
+    c.lookup(3); // evicts LRU (1)
+    EXPECT_FALSE(c.lookup(1));
+}
+
+TEST(Capability, ViolationNames)
+{
+    EXPECT_STREQ(violationName(Violation::OutOfBounds),
+                 "out-of-bounds");
+    EXPECT_STREQ(violationName(Violation::UseAfterFree),
+                 "use-after-free");
+    EXPECT_STREQ(violationName(Violation::DoubleFree), "double-free");
+}
+
+} // namespace
+} // namespace chex

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Hardware-checker tests: run-time validation of tracker
+ * predictions against the exhaustive capability search, and
+ * automatic rule construction by consistent-vote inference
+ * (Section V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tracker/checker.hh"
+
+namespace chex
+{
+namespace
+{
+
+StaticUop
+addUopRr()
+{
+    StaticUop u;
+    u.type = UopType::IntAlu;
+    u.op = AluOp::Add;
+    u.dst = RCX;
+    u.src1 = RBX;
+    u.src2 = RAX;
+    return u;
+}
+
+class CheckerTest : public ::testing::Test
+{
+  protected:
+    CheckerTest() : checker(caps, rules)
+    {
+        Violation v;
+        pid = caps.beginGeneration(64, &v);
+        caps.endGeneration(pid, 0x5000);
+    }
+
+    CapabilityTable caps;
+    RuleDatabase rules; // intentionally empty
+    CheckerConfig cfg;
+    HardwareChecker checker;
+    Pid pid;
+};
+
+TEST_F(CheckerTest, CorrectPredictionValidates)
+{
+    // Tracker predicted the PID; result points into the block.
+    EXPECT_TRUE(checker.observe(addUopRr(), pid, 0, pid, 0x5010));
+    EXPECT_EQ(checker.mismatches(), 0u);
+    EXPECT_EQ(checker.validations(), 1u);
+}
+
+TEST_F(CheckerTest, NonPointerResultValidates)
+{
+    EXPECT_TRUE(checker.observe(addUopRr(), 0, 0, NoPid, 1234));
+    EXPECT_EQ(checker.mismatches(), 0u);
+}
+
+TEST_F(CheckerTest, WildPredictionSkipsValidation)
+{
+    // PID(-1) is a deliberate over-approximation.
+    EXPECT_TRUE(checker.observe(addUopRr(), 0, 0, WildPid, 1234));
+}
+
+TEST_F(CheckerTest, MismatchIsRecorded)
+{
+    // Tracker said "no pointer" but the result lands in the block.
+    EXPECT_FALSE(checker.observe(addUopRr(), pid, 0, NoPid, 0x5010));
+    EXPECT_EQ(checker.mismatches(), 1u);
+    EXPECT_LT(checker.matchRate(), 1.0);
+}
+
+TEST_F(CheckerTest, ConstructsRuleAfterConsistentVotes)
+{
+    // With an empty database the tracker never propagates through
+    // ADD; the checker must infer CopySrc1 (src1 carries the PID
+    // that explains the observed result) and install it.
+    StaticUop u = addUopRr();
+    for (unsigned i = 0; i < 16; ++i)
+        checker.observe(u, pid, 0, NoPid, 0x5008);
+    ASSERT_EQ(checker.constructedRules().size(), 1u);
+    const ConstructedRule &rule = checker.constructedRules()[0];
+    EXPECT_EQ(rule.action, RuleAction::CopySrc1);
+    EXPECT_TRUE(rules.has(rule.key));
+    // The freshly installed rule now propagates.
+    EXPECT_EQ(rules.propagate(u, pid, 0), pid);
+    EXPECT_FALSE(rules.rules()[0].expertSeeded);
+}
+
+TEST_F(CheckerTest, InconsistentVotesDoNotInstall)
+{
+    StaticUop u = addUopRr();
+    // Alternate which source explains the result so no action
+    // reaches the consistency threshold.
+    for (unsigned i = 0; i < 20; ++i) {
+        if (i % 2 == 0)
+            checker.observe(u, pid, 0, NoPid, 0x5008); // CopySrc1
+        else
+            checker.observe(u, 0, pid, NoPid, 0x5008); // CopySrc2
+    }
+    EXPECT_TRUE(checker.constructedRules().empty());
+}
+
+TEST_F(CheckerTest, UnexplainedMismatchEscalates)
+{
+    // Neither source carries the PID that the result resolves to:
+    // the paper escalates this to manual rule-database updates.
+    StaticUop u = addUopRr();
+    checker.observe(u, 0, 0, NoPid, 0x5010);
+    EXPECT_EQ(checker.manualInterventions(), 1u);
+}
+
+TEST_F(CheckerTest, FreedBlocksStillResolve)
+{
+    caps.beginFree(pid, 0x5000);
+    caps.endFree(pid);
+    // Validation uses live *and* freed blocks.
+    EXPECT_TRUE(checker.observe(addUopRr(), pid, 0, pid, 0x5010));
+}
+
+} // namespace
+} // namespace chex

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Multithreaded coherence tests (Sections IV-C, V-C): capability
+ * frees broadcast exactly one invalidation per remote core; alias
+ * stores keep remote alias caches coherent; coherence misses are
+ * attributed correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "sim/coherence.hh"
+
+namespace chex
+{
+namespace
+{
+
+TEST(Coherence, FreeBroadcastsOncePerRemoteCore)
+{
+    CoherenceFabric fabric(4);
+    fabric.capLookup(0, 7); // core 0 caches PID 7
+    fabric.capLookup(1, 7);
+    fabric.onFree(2, 7);
+    // 3 remote invalidations for a 4-core system.
+    EXPECT_EQ(fabric.capInvalidationsSent(), 3u);
+    // Both caching cores must re-fill (stale valid bit purged).
+    EXPECT_FALSE(fabric.capLookup(0, 7));
+    EXPECT_FALSE(fabric.capLookup(1, 7));
+    EXPECT_EQ(fabric.capCoherenceMisses(), 2u);
+}
+
+TEST(Coherence, UnforgeabilityMeansOneInvalidationPerFree)
+{
+    CoherenceFabric fabric(2);
+    fabric.onFree(0, 5);
+    fabric.onFree(0, 6);
+    EXPECT_EQ(fabric.capInvalidationsSent(), 2u); // one per free
+}
+
+TEST(Coherence, AliasStoreInvalidatesRemoteCopies)
+{
+    CoherenceFabric fabric(2);
+    fabric.aliasLookup(1, 0x7000); // core 1 caches the line
+    EXPECT_TRUE(fabric.aliasLookup(1, 0x7000));
+    fabric.aliasStore(0, 0x7000);  // core 0 rewrites the alias
+    EXPECT_EQ(fabric.aliasInvalidationsSent(), 1u);
+    EXPECT_FALSE(fabric.aliasLookup(1, 0x7000)); // coherence miss
+    EXPECT_EQ(fabric.aliasCoherenceMisses(), 1u);
+}
+
+TEST(Coherence, LocalCoreKeepsItsOwnAliasLine)
+{
+    CoherenceFabric fabric(2);
+    fabric.aliasStore(0, 0x7000);
+    EXPECT_TRUE(fabric.aliasLookup(0, 0x7000));
+}
+
+TEST(Coherence, MissesWithoutInvalidationAreNotCoherenceMisses)
+{
+    CoherenceFabric fabric(2);
+    EXPECT_FALSE(fabric.capLookup(0, 42)); // cold miss
+    EXPECT_EQ(fabric.capCoherenceMisses(), 0u);
+    EXPECT_FALSE(fabric.aliasLookup(0, 0x9000));
+    EXPECT_EQ(fabric.aliasCoherenceMisses(), 0u);
+}
+
+TEST(Coherence, SharedWorkingSetStress)
+{
+    // Four cores ping-pong a shared pool of pointers: frees and
+    // alias rewrites interleave with lookups. Invariants: traffic
+    // counts are exact multiples of (cores-1), and coherence misses
+    // never exceed invalidations sent.
+    constexpr unsigned Cores = 4;
+    CoherenceFabric fabric(Cores);
+    Random rng(99);
+    uint64_t frees = 0, stores = 0;
+    for (int step = 0; step < 20000; ++step) {
+        unsigned core = static_cast<unsigned>(rng.uniform(0, Cores - 1));
+        Pid pid = static_cast<Pid>(rng.uniform(1, 48));
+        uint64_t addr = 0x10000 + rng.uniform(0, 256) * 8;
+        switch (rng.uniform(0, 9)) {
+          case 0:
+            fabric.onFree(core, pid);
+            ++frees;
+            break;
+          case 1:
+          case 2:
+            fabric.aliasStore(core, addr);
+            ++stores;
+            break;
+          default:
+            fabric.capLookup(core, pid);
+            fabric.aliasLookup(core, addr);
+            break;
+        }
+    }
+    EXPECT_EQ(fabric.capInvalidationsSent(), frees * (Cores - 1));
+    EXPECT_EQ(fabric.aliasInvalidationsSent(), stores * (Cores - 1));
+    EXPECT_LE(fabric.capCoherenceMisses(),
+              fabric.capInvalidationsSent());
+    EXPECT_LE(fabric.aliasCoherenceMisses(),
+              fabric.aliasInvalidationsSent());
+    EXPECT_GT(fabric.capCoherenceMisses(), 0u);
+    EXPECT_GT(fabric.aliasCoherenceMisses(), 0u);
+    // Coherence misses stay a bounded fraction of all lookups (this
+    // stress shares aggressively; real sharing is far sparser).
+    EXPECT_LT(fabric.capCoherenceMissFraction(), 0.5);
+}
+
+} // namespace
+} // namespace chex

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Randomized timing-model property tests: drive the out-of-order
+ * core with random micro-op streams and assert causality and
+ * resource invariants that must hold for any schedule —
+ * dependences respected, commit frontier monotone, throughput
+ * bounded by machine width, and squash accounting consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "cpu/core.hh"
+#include "isa/assembler.hh"
+#include "mem/hierarchy.hh"
+
+namespace chex
+{
+namespace
+{
+
+class CorePropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    CorePropertyTest() : core(CoreConfig{}, hier) {}
+
+    MemoryHierarchy hier;
+    Core core;
+};
+
+TEST_P(CorePropertyTest, DependencesAndMonotonicityHold)
+{
+    Random rng(GetParam());
+    uint64_t reg_ready[NumArchRegs] = {};
+    uint64_t last_cycles = 0;
+    uint64_t pc = 0x400000;
+
+    for (int m = 0; m < 400; ++m) {
+        core.beginMacro(pc, DecodePath::Simple, MacroBranchInfo{});
+        unsigned uops = 1 + static_cast<unsigned>(rng.uniform(0, 2));
+        for (unsigned i = 0; i < uops; ++i) {
+            StaticUop u;
+            switch (rng.uniform(0, 3)) {
+              case 0:
+                u.type = UopType::IntAlu;
+                u.op = AluOp::Add;
+                break;
+              case 1:
+                u.type = UopType::Load;
+                u.hasMem = true;
+                break;
+              case 2:
+                u.type = UopType::Store;
+                u.hasMem = true;
+                break;
+              default:
+                u.type = UopType::IntMult;
+                u.op = AluOp::Mul;
+                break;
+            }
+            u.dst = static_cast<RegId>(rng.uniform(0, 11));
+            u.src1 = static_cast<RegId>(rng.uniform(0, 11));
+            u.src2 = static_cast<RegId>(rng.uniform(0, 11));
+            if (u.isStore())
+                u.dst = REG_NONE;
+            if (u.hasMem)
+                u.mem = memAt(u.src1, 0);
+
+            UopTimingIn in;
+            in.uop = &u;
+            in.effAddr = 0x10000 + rng.uniform(0, 64) * 64;
+            uint64_t complete = core.addUop(in);
+
+            // Causality: the result cannot be ready before any
+            // register source it consumed.
+            EXPECT_GE(complete, reg_ready[u.src1]);
+            if (!u.useImm && u.src2 != REG_NONE) {
+                EXPECT_GE(complete, reg_ready[u.src2]);
+            }
+            if (u.dst != REG_NONE)
+                reg_ready[u.dst] = complete;
+
+            // The commit frontier never moves backwards.
+            EXPECT_GE(core.cycles(), last_cycles);
+            last_cycles = core.cycles();
+        }
+        core.endMacro(false, 0);
+        pc += InstSlotBytes;
+    }
+
+    // Throughput bound: cannot exceed issue width.
+    EXPECT_GE(core.cycles() * core.config().issueWidth, core.uops());
+    // No branches were resolved: no squash cycles charged.
+    EXPECT_EQ(core.squashCyclesBranch(), 0u);
+}
+
+TEST_P(CorePropertyTest, SquashAccountingIsConsistent)
+{
+    Random rng(GetParam() ^ 0xabcdef);
+    StaticUop br;
+    br.type = UopType::Branch;
+    br.cc = CondCode::NE;
+    br.src1 = FLAGS;
+
+    uint64_t mispredicts_possible = 0;
+    for (int m = 0; m < 300; ++m) {
+        MacroBranchInfo bi;
+        bi.isBranch = true;
+        bi.isConditional = true;
+        bi.fallthrough = 0x400004;
+        core.beginMacro(0x400000 + (m % 7) * 4, DecodePath::Simple,
+                        bi);
+        UopTimingIn in;
+        in.uop = &br;
+        core.addUop(in);
+        core.endMacro(rng.chance(0.5), 0x401000);
+        ++mispredicts_possible;
+    }
+    EXPECT_LE(core.branchMispredicts(), mispredicts_possible);
+    // Each mispredict charges at most resolve-to-refetch; the total
+    // must stay bounded by mispredicts x (penalty + window).
+    EXPECT_LE(core.squashCyclesBranch(),
+              core.branchMispredicts() *
+                  (core.config().redirectPenalty + 600));
+    if (core.branchMispredicts() > 0) {
+        EXPECT_GT(core.squashCyclesBranch(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorePropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+} // namespace
+} // namespace chex

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Randomized property tests: sample random-but-valid workload
+ * parameterizations and assert cross-cutting invariants — clean
+ * runs under full protection, functional equivalence across all
+ * capability variants, micro-op monotonicity (prediction-driven
+ * never injects more than always-on), determinism, and uniform
+ * violation classification for randomized out-of-bounds distances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "isa/assembler.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+
+namespace chex
+{
+namespace
+{
+
+BenchmarkProfile
+randomProfile(uint64_t seed)
+{
+    Random rng(seed * 7919 + 13);
+    BenchmarkProfile p;
+    p.name = "fuzz" + std::to_string(seed);
+    p.maxLiveBuffers = rng.uniform(2, 120);
+    p.buffersInUse = static_cast<unsigned>(
+        rng.uniform(1, p.maxLiveBuffers));
+    p.totalAllocations =
+        p.maxLiveBuffers + rng.uniform(0, 400);
+    p.allocSizeMin = 32ull << rng.uniform(0, 3);
+    p.allocSizeMax = p.allocSizeMin << rng.uniform(1, 4);
+    p.dominantPattern = static_cast<PatternKind>(rng.uniform(0, 7));
+    p.pointerIntensity = rng.uniformReal();
+    p.chaseDepth = static_cast<unsigned>(rng.uniform(0, 2));
+    p.accessesPerVisit = static_cast<unsigned>(rng.uniform(1, 8));
+    p.fpFraction = rng.uniformReal() * 0.7;
+    p.branchiness = rng.uniformReal() * 0.5;
+    p.iterations = 300 + rng.uniform(0, 500);
+    p.scheduleLength = 512;
+    return p;
+}
+
+RunResult
+runUnder(const Program &prog, VariantKind kind)
+{
+    SystemConfig cfg;
+    cfg.variant.kind = kind;
+    System sys(cfg);
+    sys.load(prog);
+    return sys.run();
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzTest, CleanUnderFullProtection)
+{
+    BenchmarkProfile p = randomProfile(GetParam());
+    Program prog = generateWorkload(p, GetParam());
+    RunResult r = runUnder(prog, VariantKind::MicrocodePrediction);
+    EXPECT_TRUE(r.exited) << p.name;
+    EXPECT_FALSE(r.violationDetected)
+        << p.name << " flagged "
+        << violationName(r.violations.empty() ? Violation::None
+                                              : r.violations[0].kind);
+}
+
+TEST_P(FuzzTest, FunctionalEquivalenceAcrossCapVariants)
+{
+    // Protection must never change architectural results: the final
+    // accumulator (sunk through print_val into %rax) and the heap
+    // allocation totals must match the insecure baseline for every
+    // capability variant. (ASan is excluded: its allocator changes
+    // block placement and reuse order by design.)
+    BenchmarkProfile p = randomProfile(GetParam());
+    Program prog = generateWorkload(p, GetParam());
+
+    SystemConfig base_cfg;
+    base_cfg.variant.kind = VariantKind::Baseline;
+    System base_sys(base_cfg);
+    base_sys.load(prog);
+    RunResult base = base_sys.run();
+    ASSERT_TRUE(base.exited);
+    uint64_t base_acc = base_sys.machine().reg(RAX);
+
+    for (VariantKind kind :
+         {VariantKind::HardwareOnly, VariantKind::BinaryTranslation,
+          VariantKind::MicrocodeAlwaysOn,
+          VariantKind::MicrocodePrediction}) {
+        SystemConfig cfg;
+        cfg.variant.kind = kind;
+        System sys(cfg);
+        sys.load(prog);
+        RunResult r = sys.run();
+        ASSERT_TRUE(r.exited) << variantName(kind);
+        EXPECT_FALSE(r.violationDetected) << variantName(kind);
+        EXPECT_EQ(sys.machine().reg(RAX), base_acc)
+            << variantName(kind);
+        EXPECT_EQ(r.totalAllocations, base.totalAllocations)
+            << variantName(kind);
+        // BT inserts synthetic check macro-instructions; all other
+        // variants fetch exactly the program's macro stream.
+        if (kind != VariantKind::BinaryTranslation) {
+            EXPECT_EQ(r.macroOps, base.macroOps) << variantName(kind);
+        }
+    }
+}
+
+TEST_P(FuzzTest, PredictionNeverInjectsMoreThanAlwaysOn)
+{
+    BenchmarkProfile p = randomProfile(GetParam());
+    Program prog = generateWorkload(p, GetParam());
+    RunResult on = runUnder(prog, VariantKind::MicrocodeAlwaysOn);
+    RunResult pred =
+        runUnder(prog, VariantKind::MicrocodePrediction);
+    ASSERT_TRUE(on.exited && pred.exited);
+    EXPECT_LE(pred.capChecksInjected, on.capChecksInjected);
+    EXPECT_LE(pred.uops, on.uops);
+}
+
+TEST_P(FuzzTest, Deterministic)
+{
+    BenchmarkProfile p = randomProfile(GetParam());
+    Program prog = generateWorkload(p, GetParam());
+    RunResult a = runUnder(prog, VariantKind::MicrocodePrediction);
+    RunResult b = runUnder(prog, VariantKind::MicrocodePrediction);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.uops, b.uops);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    EXPECT_EQ(a.capChecksInjected, b.capChecksInjected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+class OobDistanceTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(OobDistanceTest, AnyDistancePastBoundsIsFlagged)
+{
+    // Property: an access any number of bytes past a block's bounds
+    // (1 B to far beyond the chunk) is flagged as out-of-bounds by
+    // every capability variant.
+    int delta = GetParam();
+    Assembler as;
+    as.movri(RDI, 64);
+    as.call(IntrinsicKind::Malloc);
+    as.movrm(RBX, memAt(RAX, 64 + delta - 1), 1); // 1-byte read
+    as.hlt();
+    Program prog = as.finalize();
+
+    for (VariantKind kind :
+         {VariantKind::HardwareOnly, VariantKind::BinaryTranslation,
+          VariantKind::MicrocodeAlwaysOn,
+          VariantKind::MicrocodePrediction}) {
+        SystemConfig cfg;
+        cfg.variant.kind = kind;
+        System sys(cfg);
+        sys.load(prog);
+        RunResult r = sys.run();
+        ASSERT_TRUE(r.violationDetected)
+            << variantName(kind) << " delta=" << delta;
+        EXPECT_EQ(r.violations[0].kind, Violation::OutOfBounds)
+            << variantName(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, OobDistanceTest,
+                         ::testing::Values(1, 2, 8, 17, 64, 1000,
+                                           1 << 20));
+
+} // namespace
+} // namespace chex

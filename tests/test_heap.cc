@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Simulated-heap tests: allocation/free mechanics, inline chunk
+ * metadata, free-list behaviour (including the deliberately
+ * exploitable properties the How2Heap suite relies on), and the
+ * ASan-mode redzones, poisoning, and quarantine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/allocator.hh"
+#include "isa/program.hh"
+
+namespace chex
+{
+namespace
+{
+
+class HeapTest : public ::testing::Test
+{
+  protected:
+    HeapTest()
+        : heap(mem, layout::HeapBase, layout::HeapLimit)
+    {
+    }
+
+    SparseMemory mem;
+    HeapAllocator heap;
+};
+
+TEST_F(HeapTest, MallocReturnsAlignedDistinctBlocks)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    uint64_t b = heap.malloc(64, nullptr);
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a % 8, 0u);
+    EXPECT_GE(heap.usableSize(a), 64u);
+}
+
+TEST_F(HeapTest, HeaderIsInlineInSimulatedMemory)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    uint64_t size_field = mem.read(a - 8, 8);
+    EXPECT_EQ(size_field & ~HeapAllocator::FlagMask, 80u);
+    EXPECT_TRUE(size_field & HeapAllocator::FlagInUse);
+}
+
+TEST_F(HeapTest, FreeThenMallocReusesChunk)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    heap.free(a, nullptr);
+    uint64_t b = heap.malloc(64, nullptr);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(HeapTest, DoubleFreeCreatesCycle)
+{
+    // The exploitable fastbin-dup behaviour: no double-free check.
+    uint64_t a = heap.malloc(32, nullptr);
+    heap.free(a, nullptr);
+    heap.free(a, nullptr);
+    uint64_t b = heap.malloc(32, nullptr);
+    uint64_t c = heap.malloc(32, nullptr);
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(c, a); // same block handed out twice
+}
+
+TEST_F(HeapTest, CorruptedFdLinkIsFollowed)
+{
+    uint64_t a = heap.malloc(32, nullptr);
+    heap.free(a, nullptr);
+    // Poison the fd: point it at an arbitrary "chunk".
+    uint64_t fake_chunk = 0x31337000;
+    mem.write(a, fake_chunk, 8);
+    EXPECT_EQ(heap.malloc(32, nullptr), a);
+    EXPECT_EQ(heap.malloc(32, nullptr), fake_chunk + 16);
+}
+
+TEST_F(HeapTest, CallocZeroes)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    mem.fill(a, 0xFF, 64);
+    heap.free(a, nullptr);
+    uint64_t b = heap.calloc(8, 8, nullptr);
+    EXPECT_EQ(b, a);
+    for (unsigned i = 0; i < 64; i += 8)
+        EXPECT_EQ(mem.read(b + i, 8), 0u);
+}
+
+TEST_F(HeapTest, CallocOverflowFails)
+{
+    EXPECT_EQ(heap.calloc(1ull << 33, 1ull << 33, nullptr), 0u);
+}
+
+TEST_F(HeapTest, ReallocCopiesAndFrees)
+{
+    uint64_t a = heap.malloc(32, nullptr);
+    mem.write(a, 0x1234, 8);
+    uint64_t b = heap.realloc(a, 512, nullptr);
+    ASSERT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(mem.read(b, 8), 0x1234u);
+    // The old block went back to the free list.
+    EXPECT_EQ(heap.malloc(32, nullptr), a);
+}
+
+TEST_F(HeapTest, ReallocEdgeCases)
+{
+    EXPECT_NE(heap.realloc(0, 64, nullptr), 0u); // realloc(NULL) = malloc
+    uint64_t a = heap.malloc(64, nullptr);
+    EXPECT_EQ(heap.realloc(a, 0, nullptr), 0u);  // realloc(p,0) = free
+}
+
+TEST_F(HeapTest, ExhaustionReturnsZero)
+{
+    SparseMemory small_mem;
+    HeapAllocator small(small_mem, 0x1000, 0x2000); // 4 KiB heap
+    uint64_t total = 0;
+    while (uint64_t p = small.malloc(256, nullptr)) {
+        (void)p;
+        ++total;
+    }
+    EXPECT_GT(total, 0u);
+    EXPECT_LT(total, 20u);
+    EXPECT_EQ(small.malloc(256, nullptr), 0u);
+}
+
+TEST_F(HeapTest, StatsTrackLiveAndPeak)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    uint64_t b = heap.malloc(64, nullptr);
+    EXPECT_EQ(heap.totalAllocations(), 2u);
+    EXPECT_EQ(heap.liveAllocations(), 2u);
+    heap.free(a, nullptr);
+    EXPECT_EQ(heap.liveAllocations(), 1u);
+    EXPECT_EQ(heap.maxLiveAllocations(), 2u);
+    heap.free(b, nullptr);
+    EXPECT_EQ(heap.liveAllocations(), 0u);
+}
+
+TEST_F(HeapTest, TouchListRecordsMetadataAccesses)
+{
+    std::vector<MemTouch> touches;
+    uint64_t a = heap.malloc(64, &touches);
+    EXPECT_FALSE(touches.empty());
+    bool wrote_header = false;
+    for (const auto &t : touches)
+        if (t.isWrite && t.addr == a - 8)
+            wrote_header = true;
+    EXPECT_TRUE(wrote_header);
+}
+
+TEST_F(HeapTest, IsLiveUserPtr)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    EXPECT_TRUE(heap.isLiveUserPtr(a));
+    heap.free(a, nullptr);
+    EXPECT_FALSE(heap.isLiveUserPtr(a));
+    EXPECT_FALSE(heap.isLiveUserPtr(0x12345));
+}
+
+class AsanHeapTest : public HeapTest
+{
+  protected:
+    AsanHeapTest()
+    {
+        AsanConfig cfg;
+        cfg.enabled = true;
+        cfg.redzoneBytes = 16;
+        cfg.quarantineBytes = 4096;
+        heap.setAsan(cfg);
+    }
+};
+
+TEST_F(AsanHeapTest, RedzonesArePoisoned)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    EXPECT_FALSE(heap.isPoisoned(a, 64));
+    EXPECT_TRUE(heap.isPoisoned(a - 1, 1));   // left redzone
+    EXPECT_TRUE(heap.isPoisoned(a + 64, 1));  // right redzone
+}
+
+TEST_F(AsanHeapTest, FreedMemoryIsPoisonedAndQuarantined)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    heap.free(a, nullptr);
+    EXPECT_TRUE(heap.isPoisoned(a, 1));
+    // Quarantine delays reuse: the next malloc gets fresh memory.
+    uint64_t b = heap.malloc(64, nullptr);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(AsanHeapTest, QuarantineDrainsUnderPressure)
+{
+    uint64_t first = heap.malloc(64, nullptr);
+    heap.free(first, nullptr);
+    // Push enough frees through to exceed the 4 KiB quarantine cap.
+    for (int i = 0; i < 80; ++i)
+        heap.free(heap.malloc(64, nullptr), nullptr);
+    // The first chunk must have been recycled (and unpoisoned).
+    EXPECT_FALSE(heap.isPoisoned(first, 64) &&
+                 heap.isLiveUserPtr(first));
+}
+
+TEST_F(AsanHeapTest, OverheadBytesTracked)
+{
+    heap.malloc(64, nullptr);
+    EXPECT_GE(heap.asanOverheadBytes(), 32u); // two redzones
+}
+
+TEST_F(AsanHeapTest, PoisonRangeMergingAndSplitting)
+{
+    uint64_t a = heap.malloc(64, nullptr);
+    uint64_t b = heap.malloc(64, nullptr);
+    // Ranges around both allocations and between them behave
+    // independently.
+    EXPECT_FALSE(heap.isPoisoned(a, 64));
+    EXPECT_FALSE(heap.isPoisoned(b, 64));
+    EXPECT_TRUE(heap.isPoisoned(a + 64, 8));
+    heap.free(a, nullptr);
+    EXPECT_TRUE(heap.isPoisoned(a, 64));
+    EXPECT_FALSE(heap.isPoisoned(b, 64));
+}
+
+} // namespace
+} // namespace chex

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Functional-execution tests: micro-op semantics over the machine
+ * state — ALU ops, FLAGS, effective addresses, loads/stores of all
+ * widths, branches, and FP bit-cast arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "cpu/machine_state.hh"
+#include "isa/assembler.hh"
+
+namespace chex
+{
+namespace
+{
+
+class MachineTest : public ::testing::Test
+{
+  protected:
+    MachineTest() : ms(mem) {}
+
+    StaticUop
+    alu(AluOp op, RegId dst, RegId a, RegId b)
+    {
+        StaticUop u;
+        u.type = UopType::IntAlu;
+        u.op = op;
+        u.dst = dst;
+        u.src1 = a;
+        u.src2 = b;
+        return u;
+    }
+
+    SparseMemory mem;
+    MachineState ms;
+};
+
+TEST_F(MachineTest, AluOps)
+{
+    ms.setReg(RBX, 6);
+    ms.setReg(RCX, 3);
+    ms.execute(alu(AluOp::Add, RAX, RBX, RCX), 0);
+    EXPECT_EQ(ms.reg(RAX), 9u);
+    ms.execute(alu(AluOp::Sub, RAX, RBX, RCX), 0);
+    EXPECT_EQ(ms.reg(RAX), 3u);
+    ms.execute(alu(AluOp::And, RAX, RBX, RCX), 0);
+    EXPECT_EQ(ms.reg(RAX), 2u);
+    ms.execute(alu(AluOp::Xor, RAX, RBX, RBX), 0);
+    EXPECT_EQ(ms.reg(RAX), 0u);
+    StaticUop mul = alu(AluOp::Mul, RAX, RBX, RCX);
+    mul.type = UopType::IntMult;
+    ms.execute(mul, 0);
+    EXPECT_EQ(ms.reg(RAX), 18u);
+}
+
+TEST_F(MachineTest, ImmediateOperands)
+{
+    ms.setReg(RBX, 10);
+    StaticUop u = alu(AluOp::Shl, RAX, RBX, REG_NONE);
+    u.imm = 4;
+    u.useImm = true;
+    ms.execute(u, 0);
+    EXPECT_EQ(ms.reg(RAX), 160u);
+}
+
+TEST_F(MachineTest, EffectiveAddressForms)
+{
+    ms.setReg(RBX, 0x1000);
+    ms.setReg(RCX, 4);
+    EXPECT_EQ(ms.effectiveAddr(memAt(RBX, 16)), 0x1010u);
+    EXPECT_EQ(ms.effectiveAddr(memAt(RBX, 8, RCX, 8)), 0x1028u);
+    EXPECT_EQ(ms.effectiveAddr(memAbs(0x7000)), 0x7000u);
+    EXPECT_EQ(ms.effectiveAddr(memRip(0x600010)), 0x600010u);
+}
+
+TEST_F(MachineTest, LoadStoreWidths)
+{
+    ms.setReg(RBX, 0x2000);
+    ms.setReg(RCX, 0x1122334455667788);
+    for (uint8_t size : {1, 2, 4, 8}) {
+        StaticUop st;
+        st.type = UopType::Store;
+        st.src1 = RCX;
+        st.mem = memAt(RBX, size * 16);
+        st.hasMem = true;
+        st.memSize = size;
+        ms.execute(st, 0);
+
+        StaticUop ld;
+        ld.type = UopType::Load;
+        ld.dst = RDX;
+        ld.mem = st.mem;
+        ld.hasMem = true;
+        ld.memSize = size;
+        UopEffect eff = ms.execute(ld, 0);
+        uint64_t mask =
+            size == 8 ? ~0ull : ((1ull << (size * 8)) - 1);
+        EXPECT_EQ(ms.reg(RDX), 0x1122334455667788ull & mask);
+        EXPECT_TRUE(eff.hasAddr);
+    }
+}
+
+TEST_F(MachineTest, CmpSetsFlagsAndBranchTests)
+{
+    ms.setReg(RBX, 5);
+    ms.setReg(RCX, 9);
+    StaticUop cmp = alu(AluOp::Cmp, FLAGS, RBX, RCX);
+    ms.execute(cmp, 0);
+
+    StaticUop br;
+    br.type = UopType::Branch;
+    br.cc = CondCode::LT;
+    br.src1 = FLAGS;
+    UopEffect eff = ms.execute(br, 0x400800);
+    EXPECT_TRUE(eff.isBranch);
+    EXPECT_TRUE(eff.branchTaken);
+    EXPECT_EQ(eff.branchTarget, 0x400800u);
+
+    br.cc = CondCode::GT;
+    eff = ms.execute(br, 0x400800);
+    EXPECT_FALSE(eff.branchTaken);
+}
+
+TEST_F(MachineTest, IndirectBranchUsesRegister)
+{
+    ms.setReg(RAX, 0x400c00);
+    StaticUop br;
+    br.type = UopType::Branch;
+    br.src1 = RAX;
+    br.indirect = true;
+    UopEffect eff = ms.execute(br, 0);
+    EXPECT_TRUE(eff.branchTaken);
+    EXPECT_EQ(eff.branchTarget, 0x400c00u);
+}
+
+TEST_F(MachineTest, LeaComputesWithoutAccess)
+{
+    ms.setReg(RBX, 0x3000);
+    StaticUop lea;
+    lea.type = UopType::Lea;
+    lea.dst = RAX;
+    lea.mem = memAt(RBX, 0x40);
+    lea.hasMem = true;
+    ms.execute(lea, 0);
+    EXPECT_EQ(ms.reg(RAX), 0x3040u);
+    EXPECT_EQ(mem.residentPages(), 0u); // no memory touched
+}
+
+TEST_F(MachineTest, FpArithmeticViaBitcast)
+{
+    ms.setReg(XMM0, std::bit_cast<uint64_t>(1.5));
+    ms.setReg(XMM1, std::bit_cast<uint64_t>(2.25));
+    StaticUop fadd;
+    fadd.type = UopType::FpAlu;
+    fadd.op = AluOp::FAdd;
+    fadd.dst = XMM2;
+    fadd.src1 = XMM0;
+    fadd.src2 = XMM1;
+    ms.execute(fadd, 0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(ms.reg(XMM2)), 3.75);
+
+    StaticUop fcvt;
+    fcvt.type = UopType::FpAlu;
+    fcvt.op = AluOp::FCvt;
+    fcvt.dst = XMM3;
+    fcvt.src1 = RBX;
+    ms.setReg(RBX, 7);
+    ms.execute(fcvt, 0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(ms.reg(XMM3)), 7.0);
+}
+
+TEST_F(MachineTest, FpDivideByZeroGuard)
+{
+    ms.setReg(XMM0, std::bit_cast<uint64_t>(8.0));
+    ms.setReg(XMM1, 0);
+    StaticUop fdiv;
+    fdiv.type = UopType::FpDiv;
+    fdiv.op = AluOp::FDiv;
+    fdiv.dst = XMM2;
+    fdiv.src1 = XMM0;
+    fdiv.src2 = XMM1;
+    ms.execute(fdiv, 0);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(ms.reg(XMM2)), 8.0);
+}
+
+TEST_F(MachineTest, CapUopsHaveNoArchEffect)
+{
+    ms.setReg(RAX, 42);
+    StaticUop cap;
+    cap.type = UopType::CapCheck;
+    cap.src1 = RAX;
+    ms.execute(cap, 0);
+    EXPECT_EQ(ms.reg(RAX), 42u);
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+} // namespace
+} // namespace chex

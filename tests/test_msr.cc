@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MSR-file tests: registration of heap-function entry/exit points
+ * and the model-specific registration limit (Section IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ucode/msr.hh"
+
+namespace chex
+{
+namespace
+{
+
+TEST(Msr, RegisterAndLookup)
+{
+    MsrFile msrs;
+    ASSERT_TRUE(msrs.registerFunction(IntrinsicKind::Malloc, 0x400100,
+                                      0x400104));
+    ASSERT_TRUE(msrs.registerFunction(IntrinsicKind::Free, 0x400200,
+                                      0x400204));
+    EXPECT_EQ(*msrs.entryAt(0x400100), IntrinsicKind::Malloc);
+    EXPECT_EQ(*msrs.exitAt(0x400104), IntrinsicKind::Malloc);
+    EXPECT_EQ(*msrs.entryAt(0x400200), IntrinsicKind::Free);
+    EXPECT_FALSE(msrs.entryAt(0x400104).has_value());
+    EXPECT_FALSE(msrs.exitAt(0x400100).has_value());
+    EXPECT_FALSE(msrs.entryAt(0x999999).has_value());
+    EXPECT_EQ(msrs.registeredCount(), 2u);
+}
+
+TEST(Msr, ModelSpecificLimit)
+{
+    MsrFile msrs;
+    for (unsigned i = 0; i < MsrFile::MaxRegistered; ++i)
+        EXPECT_TRUE(msrs.registerFunction(IntrinsicKind::Malloc,
+                                          0x400000 + i * 8,
+                                          0x400004 + i * 8));
+    EXPECT_FALSE(msrs.registerFunction(IntrinsicKind::Free, 0x500000,
+                                       0x500004));
+}
+
+TEST(Msr, ClearForgetsEverything)
+{
+    MsrFile msrs;
+    msrs.registerFunction(IntrinsicKind::Malloc, 0x400100, 0x400104);
+    msrs.clear();
+    EXPECT_FALSE(msrs.entryAt(0x400100).has_value());
+    EXPECT_EQ(msrs.registeredCount(), 0u);
+}
+
+} // namespace
+} // namespace chex

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Table II pattern tests: schedule generation for each pattern
+ * class and round-trip classification (generate -> classify ->
+ * same class), parameterized across classes and seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/patterns.hh"
+
+namespace chex
+{
+namespace
+{
+
+std::vector<uint64_t>
+toU64(const std::vector<unsigned> &v)
+{
+    return {v.begin(), v.end()};
+}
+
+TEST(Patterns, ConstantSchedule)
+{
+    Random rng(1);
+    PatternParams pp;
+    pp.numBuffers = 8;
+    pp.length = 64;
+    auto s = generateSchedule(PatternKind::Constant, pp, rng);
+    ASSERT_EQ(s.size(), 64u);
+    for (unsigned v : s)
+        EXPECT_EQ(v, s[0]);
+}
+
+TEST(Patterns, StrideScheduleWrapsModulo)
+{
+    Random rng(2);
+    PatternParams pp;
+    pp.numBuffers = 16;
+    pp.length = 64;
+    pp.stride = 3;
+    auto s = generateSchedule(PatternKind::Stride, pp, rng);
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+        int diff = static_cast<int>(s[i + 1]) - static_cast<int>(s[i]);
+        EXPECT_TRUE(diff == 3 || diff == 3 - 16) << i;
+    }
+}
+
+TEST(Patterns, BatchScheduleHasRuns)
+{
+    Random rng(3);
+    PatternParams pp;
+    pp.numBuffers = 16;
+    pp.length = 64;
+    pp.batchLen = 4;
+    auto s = generateSchedule(PatternKind::BatchStride, pp, rng);
+    EXPECT_EQ(s[0], s[1]);
+    EXPECT_EQ(s[1], s[2]);
+    EXPECT_EQ(s[2], s[3]);
+    EXPECT_NE(s[3], s[4]);
+}
+
+TEST(Patterns, RepeatScheduleIsPeriodic)
+{
+    Random rng(4);
+    PatternParams pp;
+    pp.numBuffers = 32;
+    pp.length = 60;
+    pp.period = 3;
+    pp.stride = 1;
+    auto s = generateSchedule(PatternKind::RepeatStride, pp, rng);
+    for (size_t i = 0; i + 3 < s.size(); ++i)
+        EXPECT_EQ(s[i], s[i + 3]);
+}
+
+TEST(Patterns, ClassifierDetectsConstant)
+{
+    auto cls = classifySequence({31, 31, 31, 31, 31, 31, 31});
+    EXPECT_EQ(cls.kind, PatternKind::Constant);
+}
+
+TEST(Patterns, ClassifierDetectsTableIIRows)
+{
+    // The exact example rows from Table II.
+    EXPECT_EQ(classifySequence({13, 16, 19, 22, 25, 28, 31, 34, 37,
+                                40, 43, 46})
+                  .kind,
+              PatternKind::Stride);
+    EXPECT_EQ(classifySequence({11, 11, 11, 15, 15, 15, 15, 19, 19,
+                                19, 23, 23, 23, 27, 27, 27})
+                  .kind,
+              PatternKind::BatchStride);
+    EXPECT_EQ(classifySequence({22, 22, 22, 13, 13, 13, 99, 99, 99,
+                                41, 41, 41, 7, 7, 7})
+                  .kind,
+              PatternKind::BatchNoStride);
+    EXPECT_EQ(classifySequence({26, 27, 28, 26, 27, 28, 26, 27, 28,
+                                26, 27, 28})
+                  .kind,
+              PatternKind::RepeatStride);
+    EXPECT_EQ(classifySequence({26, 57, 5, 26, 57, 5, 26, 57, 5, 26,
+                                57, 5})
+                  .kind,
+              PatternKind::RepeatNoStride);
+}
+
+struct RoundTripCase
+{
+    PatternKind kind;
+    const char *name;
+};
+
+class PatternRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>>
+{
+};
+
+TEST_P(PatternRoundTrip, GenerateThenClassify)
+{
+    auto kind = static_cast<PatternKind>(std::get<0>(GetParam()));
+    uint64_t seed = std::get<1>(GetParam());
+    Random rng(seed);
+    PatternParams pp;
+    pp.numBuffers = 24;
+    pp.length = 512;
+    pp.batchLen = 4;
+    pp.period = 3;
+    pp.stride = 1;
+    auto sched = generateSchedule(kind, pp, rng);
+    auto cls = classifySequence(toU64(sched));
+
+    switch (kind) {
+      case PatternKind::Constant:
+        EXPECT_EQ(cls.kind, PatternKind::Constant);
+        break;
+      case PatternKind::Stride:
+        EXPECT_EQ(cls.kind, PatternKind::Stride);
+        EXPECT_EQ(cls.stride, 1);
+        break;
+      case PatternKind::BatchStride:
+        EXPECT_EQ(cls.kind, PatternKind::BatchStride);
+        EXPECT_EQ(cls.batchLen, 4u);
+        break;
+      case PatternKind::BatchNoStride:
+        EXPECT_EQ(cls.kind, PatternKind::BatchNoStride);
+        break;
+      case PatternKind::RepeatStride:
+        EXPECT_EQ(cls.kind, PatternKind::RepeatStride);
+        EXPECT_EQ(cls.period, 3u);
+        break;
+      case PatternKind::RepeatNoStride:
+        EXPECT_EQ(cls.kind, PatternKind::RepeatNoStride);
+        break;
+      case PatternKind::RandomStride:
+        // Local small steps may occasionally classify as repeat;
+        // must at least not look strided or constant.
+        EXPECT_NE(cls.kind, PatternKind::Constant);
+        EXPECT_NE(cls.kind, PatternKind::Stride);
+        break;
+      case PatternKind::RandomNoStride:
+        EXPECT_NE(cls.kind, PatternKind::Constant);
+        EXPECT_NE(cls.kind, PatternKind::Stride);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSeeds, PatternRoundTrip,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(1u, 17u, 99u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>
+           &info) {
+        std::string name = patternName(static_cast<PatternKind>(
+            std::get<0>(info.param)));
+        for (char &c : name)
+            if (c == ' ' || c == '+')
+                c = '_';
+        return name + "_s" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace chex

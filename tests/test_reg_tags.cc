@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Register-tag-file tests: the committed + transient PID vectors of
+ * Section V-D, including squash recovery by sequence number and
+ * commit folding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tracker/reg_tags.hh"
+
+namespace chex
+{
+namespace
+{
+
+TEST(RegTags, FreshFileIsUntagged)
+{
+    RegTagFile tags;
+    for (unsigned r = 0; r < NumArchRegs; ++r)
+        EXPECT_EQ(tags.current(static_cast<RegId>(r)), NoPid);
+}
+
+TEST(RegTags, YoungestTransientWins)
+{
+    RegTagFile tags;
+    tags.write(RAX, 1, 10);
+    tags.write(RAX, 2, 20);
+    EXPECT_EQ(tags.current(RAX), 2u);
+    EXPECT_EQ(tags.committed(RAX), NoPid);
+}
+
+TEST(RegTags, CommitFoldsIntoFinalized)
+{
+    RegTagFile tags;
+    tags.write(RAX, 1, 10);
+    tags.write(RAX, 2, 20);
+    tags.commitUpTo(15);
+    EXPECT_EQ(tags.committed(RAX), 1u);
+    EXPECT_EQ(tags.current(RAX), 2u); // transient 20 still pending
+    tags.commitUpTo(20);
+    EXPECT_EQ(tags.committed(RAX), 2u);
+    EXPECT_EQ(tags.transientCount(), 0u);
+}
+
+TEST(RegTags, SquashDiscardsYoungerOnly)
+{
+    // The recovery protocol: on a squash at sequence number S, every
+    // transient tag with seq > S is removed (Section V-D).
+    RegTagFile tags;
+    tags.write(RAX, 1, 10);
+    tags.write(RAX, 2, 20);
+    tags.write(RBX, 3, 25);
+    tags.squashAfter(15);
+    EXPECT_EQ(tags.current(RAX), 1u);
+    EXPECT_EQ(tags.current(RBX), NoPid);
+    EXPECT_EQ(tags.transientCount(), 1u);
+}
+
+TEST(RegTags, SquashThenRetagReplaysCorrectly)
+{
+    RegTagFile tags;
+    tags.write(RAX, 1, 10);
+    tags.write(RAX, 2, 20);
+    tags.squashAfter(10);
+    // Refetched path writes a different tag at a new seq.
+    tags.write(RAX, 5, 21);
+    EXPECT_EQ(tags.current(RAX), 5u);
+    tags.commitUpTo(21);
+    EXPECT_EQ(tags.committed(RAX), 5u);
+}
+
+TEST(RegTags, CommittedSurvivesSquash)
+{
+    RegTagFile tags;
+    tags.write(RAX, 7, 5);
+    tags.commitUpTo(5);
+    tags.write(RAX, 9, 10);
+    tags.squashAfter(6);
+    EXPECT_EQ(tags.current(RAX), 7u); // falls back to finalized
+}
+
+TEST(RegTags, IndependentRegisters)
+{
+    RegTagFile tags;
+    tags.write(RAX, 1, 1);
+    tags.write(RBX, 2, 2);
+    tags.write(R15, 3, 3);
+    EXPECT_EQ(tags.current(RAX), 1u);
+    EXPECT_EQ(tags.current(RBX), 2u);
+    EXPECT_EQ(tags.current(R15), 3u);
+    EXPECT_EQ(tags.current(RCX), NoPid);
+}
+
+TEST(RegTags, ClearResets)
+{
+    RegTagFile tags;
+    tags.write(RAX, 1, 1);
+    tags.commitUpTo(1);
+    tags.write(RAX, 2, 2);
+    tags.clear();
+    EXPECT_EQ(tags.current(RAX), NoPid);
+    EXPECT_EQ(tags.committed(RAX), NoPid);
+    EXPECT_EQ(tags.transientCount(), 0u);
+}
+
+} // namespace
+} // namespace chex

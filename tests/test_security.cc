@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Security evaluation tests (Section VII-A): every exploit in the
+ * RIPE-style sweep, the ASan-style unit suite, and the
+ * How2Heap-style suite must be flagged by the prediction-driven
+ * microcode variant with the expected anchor violation — and a
+ * representative set must demonstrably *succeed* (corrupt state)
+ * on the insecure baseline, proving the exploits are real.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attacks/asan_suite.hh"
+#include "attacks/how2heap.hh"
+#include "attacks/ripe.hh"
+#include "sim/system.hh"
+
+namespace chex
+{
+namespace
+{
+
+RunResult
+runUnder(const AttackCase &attack, VariantKind kind)
+{
+    SystemConfig cfg;
+    cfg.variant.kind = kind;
+    System sys(cfg);
+    sys.load(attack.program);
+    return sys.run();
+}
+
+void
+expectDetected(const AttackCase &attack)
+{
+    RunResult r = runUnder(attack, VariantKind::MicrocodePrediction);
+    ASSERT_TRUE(r.violationDetected)
+        << attack.suite << "/" << attack.name << " was not detected";
+    EXPECT_EQ(r.violations[0].kind, attack.expected)
+        << attack.suite << "/" << attack.name << ": flagged "
+        << violationName(r.violations[0].kind) << ", expected "
+        << violationName(attack.expected);
+}
+
+void
+expectBaselineSucceeds(const AttackCase &attack)
+{
+    SystemConfig cfg;
+    cfg.variant.kind = VariantKind::Baseline;
+    System sys(cfg);
+    sys.load(attack.program);
+    RunResult r = sys.run();
+    EXPECT_FALSE(r.violationDetected);
+    if (attack.indicatorAddr != 0) {
+        uint64_t got = sys.memory().read(attack.indicatorAddr, 8);
+        EXPECT_EQ(got, attack.indicatorExpect)
+            << attack.suite << "/" << attack.name
+            << ": exploit did not succeed on the insecure baseline";
+    }
+}
+
+class AsanSuiteTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(AsanSuiteTest, DetectedWithExpectedAnchor)
+{
+    expectDetected(asanSuite()[GetParam()]);
+}
+
+TEST_P(AsanSuiteTest, SucceedsOnBaseline)
+{
+    expectBaselineSucceeds(asanSuite()[GetParam()]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, AsanSuiteTest,
+    ::testing::Range<size_t>(0, asanSuite().size()),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return asanSuite()[info.param].name;
+    });
+
+class How2HeapTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(How2HeapTest, DetectedWithExpectedAnchor)
+{
+    expectDetected(how2heapSuite()[GetParam()]);
+}
+
+TEST_P(How2HeapTest, SucceedsOnBaseline)
+{
+    expectBaselineSucceeds(how2heapSuite()[GetParam()]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, How2HeapTest,
+    ::testing::Range<size_t>(0, how2heapSuite().size()),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return how2heapSuite()[info.param].name;
+    });
+
+class RipeTest : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(RipeTest, DetectedWithExpectedAnchor)
+{
+    expectDetected(ripeSweep()[GetParam()]);
+}
+
+TEST_P(RipeTest, SucceedsOnBaseline)
+{
+    expectBaselineSucceeds(ripeSweep()[GetParam()]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RipeTest,
+    ::testing::Range<size_t>(0, ripeSweep().size()),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        std::string name = ripeSweep()[info.param].name;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(Security, How2HeapHas18Cases)
+{
+    EXPECT_EQ(how2heapSuite().size(), 18u);
+}
+
+TEST(Security, AllVariantsOfChex86DetectFastbinDup)
+{
+    const AttackCase attack = how2heapSuite()[0];
+    for (VariantKind kind :
+         {VariantKind::HardwareOnly, VariantKind::BinaryTranslation,
+          VariantKind::MicrocodeAlwaysOn,
+          VariantKind::MicrocodePrediction}) {
+        RunResult r = runUnder(attack, kind);
+        EXPECT_TRUE(r.violationDetected) << variantName(kind);
+    }
+}
+
+TEST(Security, AsanModelDetectsHeapOob)
+{
+    RunResult r = runUnder(asanSuite()[0], VariantKind::Asan);
+    EXPECT_TRUE(r.violationDetected);
+}
+
+TEST(Security, AsanModelDetectsUafViaQuarantine)
+{
+    RunResult r = runUnder(asanSuite()[4], VariantKind::Asan);
+    EXPECT_TRUE(r.violationDetected);
+}
+
+} // namespace
+} // namespace chex
