@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_watchdog.dir/ablation_watchdog.cc.o"
+  "CMakeFiles/ablation_watchdog.dir/ablation_watchdog.cc.o.d"
+  "ablation_watchdog"
+  "ablation_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

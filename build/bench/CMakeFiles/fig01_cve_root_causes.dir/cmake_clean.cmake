@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cve_root_causes.dir/fig01_cve_root_causes.cc.o"
+  "CMakeFiles/fig01_cve_root_causes.dir/fig01_cve_root_causes.cc.o.d"
+  "fig01_cve_root_causes"
+  "fig01_cve_root_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cve_root_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

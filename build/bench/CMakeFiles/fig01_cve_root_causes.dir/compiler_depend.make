@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_cve_root_causes.
+# This may be replaced when dependencies are built.

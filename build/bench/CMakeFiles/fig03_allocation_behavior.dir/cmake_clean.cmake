@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_allocation_behavior.dir/fig03_allocation_behavior.cc.o"
+  "CMakeFiles/fig03_allocation_behavior.dir/fig03_allocation_behavior.cc.o.d"
+  "fig03_allocation_behavior"
+  "fig03_allocation_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_allocation_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

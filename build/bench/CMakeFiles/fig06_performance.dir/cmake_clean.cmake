@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_performance.dir/fig06_performance.cc.o"
+  "CMakeFiles/fig06_performance.dir/fig06_performance.cc.o.d"
+  "fig06_performance"
+  "fig06_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cache_missrates.dir/fig07_cache_missrates.cc.o"
+  "CMakeFiles/fig07_cache_missrates.dir/fig07_cache_missrates.cc.o.d"
+  "fig07_cache_missrates"
+  "fig07_cache_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cache_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

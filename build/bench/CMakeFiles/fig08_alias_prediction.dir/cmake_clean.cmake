@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_alias_prediction.dir/fig08_alias_prediction.cc.o"
+  "CMakeFiles/fig08_alias_prediction.dir/fig08_alias_prediction.cc.o.d"
+  "fig08_alias_prediction"
+  "fig08_alias_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_alias_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_coherence.dir/multicore_coherence.cc.o"
+  "CMakeFiles/multicore_coherence.dir/multicore_coherence.cc.o.d"
+  "multicore_coherence"
+  "multicore_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

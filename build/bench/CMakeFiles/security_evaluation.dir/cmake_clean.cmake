@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_evaluation.dir/security_evaluation.cc.o"
+  "CMakeFiles/security_evaluation.dir/security_evaluation.cc.o.d"
+  "security_evaluation"
+  "security_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_temporal_patterns.dir/table2_temporal_patterns.cc.o"
+  "CMakeFiles/table2_temporal_patterns.dir/table2_temporal_patterns.cc.o.d"
+  "table2_temporal_patterns"
+  "table2_temporal_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_temporal_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_configuration.cc" "bench/CMakeFiles/table3_configuration.dir/table3_configuration.cc.o" "gcc" "bench/CMakeFiles/table3_configuration.dir/table3_configuration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/chex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/chex_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/chex_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/chex_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/chex_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/chex_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/chex_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/chex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucode/CMakeFiles/chex_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/chex_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/chex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_configuration.dir/table3_configuration.cc.o"
+  "CMakeFiles/table3_configuration.dir/table3_configuration.cc.o.d"
+  "table3_configuration"
+  "table3_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_zoo.dir/pattern_zoo.cpp.o"
+  "CMakeFiles/pattern_zoo.dir/pattern_zoo.cpp.o.d"
+  "pattern_zoo"
+  "pattern_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_study.dir/variant_study.cpp.o"
+  "CMakeFiles/variant_study.dir/variant_study.cpp.o.d"
+  "variant_study"
+  "variant_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_attacks.dir/asan_suite.cc.o"
+  "CMakeFiles/chex_attacks.dir/asan_suite.cc.o.d"
+  "CMakeFiles/chex_attacks.dir/how2heap.cc.o"
+  "CMakeFiles/chex_attacks.dir/how2heap.cc.o.d"
+  "CMakeFiles/chex_attacks.dir/ripe.cc.o"
+  "CMakeFiles/chex_attacks.dir/ripe.cc.o.d"
+  "libchex_attacks.a"
+  "libchex_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

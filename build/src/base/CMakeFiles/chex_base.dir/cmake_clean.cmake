@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_base.dir/logging.cc.o"
+  "CMakeFiles/chex_base.dir/logging.cc.o.d"
+  "CMakeFiles/chex_base.dir/random.cc.o"
+  "CMakeFiles/chex_base.dir/random.cc.o.d"
+  "CMakeFiles/chex_base.dir/stats.cc.o"
+  "CMakeFiles/chex_base.dir/stats.cc.o.d"
+  "CMakeFiles/chex_base.dir/table.cc.o"
+  "CMakeFiles/chex_base.dir/table.cc.o.d"
+  "libchex_base.a"
+  "libchex_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_cap.dir/cap_cache.cc.o"
+  "CMakeFiles/chex_cap.dir/cap_cache.cc.o.d"
+  "CMakeFiles/chex_cap.dir/cap_table.cc.o"
+  "CMakeFiles/chex_cap.dir/cap_table.cc.o.d"
+  "CMakeFiles/chex_cap.dir/capability.cc.o"
+  "CMakeFiles/chex_cap.dir/capability.cc.o.d"
+  "libchex_cap.a"
+  "libchex_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

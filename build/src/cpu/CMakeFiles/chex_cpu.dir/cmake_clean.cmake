@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_cpu.dir/bpred.cc.o"
+  "CMakeFiles/chex_cpu.dir/bpred.cc.o.d"
+  "CMakeFiles/chex_cpu.dir/core.cc.o"
+  "CMakeFiles/chex_cpu.dir/core.cc.o.d"
+  "CMakeFiles/chex_cpu.dir/machine_state.cc.o"
+  "CMakeFiles/chex_cpu.dir/machine_state.cc.o.d"
+  "libchex_cpu.a"
+  "libchex_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_heap.dir/allocator.cc.o"
+  "CMakeFiles/chex_heap.dir/allocator.cc.o.d"
+  "libchex_heap.a"
+  "libchex_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

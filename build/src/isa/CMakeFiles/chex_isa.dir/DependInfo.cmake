@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/chex_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/chex_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/decoder.cc" "src/isa/CMakeFiles/chex_isa.dir/decoder.cc.o" "gcc" "src/isa/CMakeFiles/chex_isa.dir/decoder.cc.o.d"
+  "/root/repo/src/isa/insts.cc" "src/isa/CMakeFiles/chex_isa.dir/insts.cc.o" "gcc" "src/isa/CMakeFiles/chex_isa.dir/insts.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/isa/CMakeFiles/chex_isa.dir/program.cc.o" "gcc" "src/isa/CMakeFiles/chex_isa.dir/program.cc.o.d"
+  "/root/repo/src/isa/regs.cc" "src/isa/CMakeFiles/chex_isa.dir/regs.cc.o" "gcc" "src/isa/CMakeFiles/chex_isa.dir/regs.cc.o.d"
+  "/root/repo/src/isa/uops.cc" "src/isa/CMakeFiles/chex_isa.dir/uops.cc.o" "gcc" "src/isa/CMakeFiles/chex_isa.dir/uops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/chex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

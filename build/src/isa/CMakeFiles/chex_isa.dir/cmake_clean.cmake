@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_isa.dir/assembler.cc.o"
+  "CMakeFiles/chex_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/chex_isa.dir/decoder.cc.o"
+  "CMakeFiles/chex_isa.dir/decoder.cc.o.d"
+  "CMakeFiles/chex_isa.dir/insts.cc.o"
+  "CMakeFiles/chex_isa.dir/insts.cc.o.d"
+  "CMakeFiles/chex_isa.dir/program.cc.o"
+  "CMakeFiles/chex_isa.dir/program.cc.o.d"
+  "CMakeFiles/chex_isa.dir/regs.cc.o"
+  "CMakeFiles/chex_isa.dir/regs.cc.o.d"
+  "CMakeFiles/chex_isa.dir/uops.cc.o"
+  "CMakeFiles/chex_isa.dir/uops.cc.o.d"
+  "libchex_isa.a"
+  "libchex_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

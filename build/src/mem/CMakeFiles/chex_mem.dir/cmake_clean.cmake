@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_mem.dir/alias_table.cc.o"
+  "CMakeFiles/chex_mem.dir/alias_table.cc.o.d"
+  "CMakeFiles/chex_mem.dir/cache.cc.o"
+  "CMakeFiles/chex_mem.dir/cache.cc.o.d"
+  "CMakeFiles/chex_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/chex_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/chex_mem.dir/sparse_memory.cc.o"
+  "CMakeFiles/chex_mem.dir/sparse_memory.cc.o.d"
+  "libchex_mem.a"
+  "libchex_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchex_mem.a"
+)

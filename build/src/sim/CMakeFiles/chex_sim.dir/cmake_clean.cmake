@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_sim.dir/coherence.cc.o"
+  "CMakeFiles/chex_sim.dir/coherence.cc.o.d"
+  "CMakeFiles/chex_sim.dir/system.cc.o"
+  "CMakeFiles/chex_sim.dir/system.cc.o.d"
+  "libchex_sim.a"
+  "libchex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

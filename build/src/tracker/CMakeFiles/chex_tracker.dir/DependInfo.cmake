@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracker/alias_predictor.cc" "src/tracker/CMakeFiles/chex_tracker.dir/alias_predictor.cc.o" "gcc" "src/tracker/CMakeFiles/chex_tracker.dir/alias_predictor.cc.o.d"
+  "/root/repo/src/tracker/checker.cc" "src/tracker/CMakeFiles/chex_tracker.dir/checker.cc.o" "gcc" "src/tracker/CMakeFiles/chex_tracker.dir/checker.cc.o.d"
+  "/root/repo/src/tracker/pointer_tracker.cc" "src/tracker/CMakeFiles/chex_tracker.dir/pointer_tracker.cc.o" "gcc" "src/tracker/CMakeFiles/chex_tracker.dir/pointer_tracker.cc.o.d"
+  "/root/repo/src/tracker/reg_tags.cc" "src/tracker/CMakeFiles/chex_tracker.dir/reg_tags.cc.o" "gcc" "src/tracker/CMakeFiles/chex_tracker.dir/reg_tags.cc.o.d"
+  "/root/repo/src/tracker/rules.cc" "src/tracker/CMakeFiles/chex_tracker.dir/rules.cc.o" "gcc" "src/tracker/CMakeFiles/chex_tracker.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/chex_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/chex_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/chex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/chex_cap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

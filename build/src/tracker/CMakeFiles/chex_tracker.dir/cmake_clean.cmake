@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_tracker.dir/alias_predictor.cc.o"
+  "CMakeFiles/chex_tracker.dir/alias_predictor.cc.o.d"
+  "CMakeFiles/chex_tracker.dir/checker.cc.o"
+  "CMakeFiles/chex_tracker.dir/checker.cc.o.d"
+  "CMakeFiles/chex_tracker.dir/pointer_tracker.cc.o"
+  "CMakeFiles/chex_tracker.dir/pointer_tracker.cc.o.d"
+  "CMakeFiles/chex_tracker.dir/reg_tags.cc.o"
+  "CMakeFiles/chex_tracker.dir/reg_tags.cc.o.d"
+  "CMakeFiles/chex_tracker.dir/rules.cc.o"
+  "CMakeFiles/chex_tracker.dir/rules.cc.o.d"
+  "libchex_tracker.a"
+  "libchex_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

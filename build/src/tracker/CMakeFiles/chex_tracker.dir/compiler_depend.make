@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chex_tracker.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ucode/msr.cc" "src/ucode/CMakeFiles/chex_ucode.dir/msr.cc.o" "gcc" "src/ucode/CMakeFiles/chex_ucode.dir/msr.cc.o.d"
+  "/root/repo/src/ucode/variant.cc" "src/ucode/CMakeFiles/chex_ucode.dir/variant.cc.o" "gcc" "src/ucode/CMakeFiles/chex_ucode.dir/variant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/chex_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/chex_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

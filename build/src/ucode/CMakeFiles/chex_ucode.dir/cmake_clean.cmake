@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_ucode.dir/msr.cc.o"
+  "CMakeFiles/chex_ucode.dir/msr.cc.o.d"
+  "CMakeFiles/chex_ucode.dir/variant.cc.o"
+  "CMakeFiles/chex_ucode.dir/variant.cc.o.d"
+  "libchex_ucode.a"
+  "libchex_ucode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_ucode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

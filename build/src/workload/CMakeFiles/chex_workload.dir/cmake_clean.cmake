@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chex_workload.dir/generator.cc.o"
+  "CMakeFiles/chex_workload.dir/generator.cc.o.d"
+  "CMakeFiles/chex_workload.dir/patterns.cc.o"
+  "CMakeFiles/chex_workload.dir/patterns.cc.o.d"
+  "CMakeFiles/chex_workload.dir/profiles.cc.o"
+  "CMakeFiles/chex_workload.dir/profiles.cc.o.d"
+  "libchex_workload.a"
+  "libchex_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chex_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

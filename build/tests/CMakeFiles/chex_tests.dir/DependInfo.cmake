@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alias_predictor.cc" "tests/CMakeFiles/chex_tests.dir/test_alias_predictor.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_alias_predictor.cc.o.d"
+  "/root/repo/tests/test_base.cc" "tests/CMakeFiles/chex_tests.dir/test_base.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_base.cc.o.d"
+  "/root/repo/tests/test_bpred.cc" "tests/CMakeFiles/chex_tests.dir/test_bpred.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_bpred.cc.o.d"
+  "/root/repo/tests/test_cap.cc" "tests/CMakeFiles/chex_tests.dir/test_cap.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_cap.cc.o.d"
+  "/root/repo/tests/test_checker.cc" "tests/CMakeFiles/chex_tests.dir/test_checker.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_checker.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/chex_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/chex_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_core_properties.cc" "tests/CMakeFiles/chex_tests.dir/test_core_properties.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_core_properties.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/chex_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_heap.cc" "tests/CMakeFiles/chex_tests.dir/test_heap.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_heap.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/chex_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_machine_state.cc" "tests/CMakeFiles/chex_tests.dir/test_machine_state.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_machine_state.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/chex_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_msr.cc" "tests/CMakeFiles/chex_tests.dir/test_msr.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_msr.cc.o.d"
+  "/root/repo/tests/test_patterns.cc" "tests/CMakeFiles/chex_tests.dir/test_patterns.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_patterns.cc.o.d"
+  "/root/repo/tests/test_reg_tags.cc" "tests/CMakeFiles/chex_tests.dir/test_reg_tags.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_reg_tags.cc.o.d"
+  "/root/repo/tests/test_rules.cc" "tests/CMakeFiles/chex_tests.dir/test_rules.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_rules.cc.o.d"
+  "/root/repo/tests/test_security.cc" "tests/CMakeFiles/chex_tests.dir/test_security.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_security.cc.o.d"
+  "/root/repo/tests/test_stats_dump.cc" "tests/CMakeFiles/chex_tests.dir/test_stats_dump.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_stats_dump.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/chex_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_uninit.cc" "tests/CMakeFiles/chex_tests.dir/test_uninit.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_uninit.cc.o.d"
+  "/root/repo/tests/test_variants.cc" "tests/CMakeFiles/chex_tests.dir/test_variants.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_variants.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/chex_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/chex_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/chex_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/chex_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/chex_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/chex_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/chex_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/cap/CMakeFiles/chex_cap.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/chex_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/chex_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucode/CMakeFiles/chex_ucode.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/chex_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/chex_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
