@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "driver/campaign.hh"
 #include "sim/system.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
@@ -41,8 +43,7 @@ inline RunResult
 runProfile(const BenchmarkProfile &profile, SystemConfig cfg,
            uint64_t seed = 1)
 {
-    BenchmarkProfile p = profile;
-    p.iterations = std::max<uint64_t>(200, p.iterations / scale());
+    BenchmarkProfile p = profile.scaledBy(scale());
     System sys(cfg);
     sys.load(generateWorkload(p, seed));
     RunResult r = sys.run();
@@ -63,6 +64,61 @@ runVariant(const BenchmarkProfile &profile, VariantKind kind,
     SystemConfig cfg;
     cfg.variant.kind = kind;
     return runProfile(profile, cfg, seed);
+}
+
+/** Worker threads for sweeps: $CHEX_BENCH_JOBS, default all cores. */
+inline unsigned
+benchJobs()
+{
+    if (const char *s = std::getenv("CHEX_BENCH_JOBS")) {
+        unsigned v = static_cast<unsigned>(
+            std::strtoul(s, nullptr, 10));
+        if (v > 0)
+            return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/**
+ * Run the (profile × variant) sweep on the campaign driver's worker
+ * pool. Applies the same CHEX_BENCH_SCALE iteration scaling and the
+ * same fixed workload seed as runProfile/runVariant, so the results
+ * are identical to the serial helpers — just produced in parallel.
+ *
+ * Returns results in row-major order:
+ * `results[pi * variants.size() + vi]`.
+ */
+inline std::vector<RunResult>
+runMatrix(const std::vector<BenchmarkProfile> &profiles,
+          const std::vector<VariantKind> &variants, uint64_t seed = 1)
+{
+    std::vector<BenchmarkProfile> scaled;
+    scaled.reserve(profiles.size());
+    for (const BenchmarkProfile &p : profiles)
+        scaled.push_back(p.scaledBy(scale()));
+
+    std::vector<driver::JobSpec> jobs =
+        driver::buildMatrix(scaled, variants, seed);
+    driver::CampaignOptions opts;
+    opts.workers = benchJobs();
+    opts.seed = seed;
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+
+    std::vector<RunResult> results;
+    results.reserve(report.jobs.size());
+    for (const driver::JobResult &jr : report.jobs) {
+        if (jr.failed || !jr.run.exited) {
+            std::fprintf(stderr,
+                         "bench: %s did not complete cleanly%s%s\n",
+                         jr.label.c_str(),
+                         jr.failed ? ": " : " (violation)",
+                         jr.failed ? jr.error.c_str() : "");
+            std::exit(1);
+        }
+        results.push_back(jr.run);
+    }
+    return results;
 }
 
 /** Geometric mean helper for summary rows. */

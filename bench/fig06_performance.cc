@@ -29,7 +29,7 @@ using namespace chex::bench;
 int
 main()
 {
-    const VariantKind kinds[] = {
+    const std::vector<VariantKind> kinds = {
         VariantKind::Baseline,          VariantKind::HardwareOnly,
         VariantKind::BinaryTranslation, VariantKind::MicrocodeAlwaysOn,
         VariantKind::MicrocodePrediction, VariantKind::Asan,
@@ -46,11 +46,19 @@ main()
     std::map<VariantKind, std::vector<double>> spec_slow, parsec_slow;
     std::map<VariantKind, std::vector<double>> spec_exp, parsec_exp;
 
-    for (const BenchmarkProfile &p : allProfiles()) {
+    // The whole (14 profiles x 6 variants) sweep runs on the
+    // campaign driver's worker pool; results come back in row-major
+    // submission order.
+    const std::vector<BenchmarkProfile> &profiles = allProfiles();
+    std::vector<RunResult> results = runMatrix(profiles, kinds);
+
+    for (size_t pi = 0; pi < profiles.size(); ++pi) {
+        const BenchmarkProfile &p = profiles[pi];
         uint64_t base_cycles = 0, base_uops = 0;
         std::vector<std::string> prow{p.name}, urow{p.name};
-        for (VariantKind kind : kinds) {
-            RunResult r = runVariant(p, kind);
+        for (size_t vi = 0; vi < kinds.size(); ++vi) {
+            VariantKind kind = kinds[vi];
+            const RunResult &r = results[pi * kinds.size() + vi];
             if (kind == VariantKind::Baseline) {
                 base_cycles = r.cycles;
                 base_uops = r.uops;

@@ -19,14 +19,20 @@ using namespace chex::bench;
 int
 main()
 {
-    // Measure the CHEx86 row.
+    // Measure the CHEx86 row: the (SPEC x {baseline, prediction})
+    // sweep runs in parallel on the campaign driver.
+    const std::vector<VariantKind> kinds = {
+        VariantKind::Baseline, VariantKind::MicrocodePrediction};
+    std::vector<BenchmarkProfile> profiles = specProfiles();
+    std::vector<RunResult> results = runMatrix(profiles, kinds);
+
     std::vector<double> slowdowns, storage;
     std::string worst_perf_name, worst_storage_name;
     double worst_perf = 0, worst_storage = 0;
-    for (const BenchmarkProfile &p : specProfiles()) {
-        RunResult base = runVariant(p, VariantKind::Baseline);
-        RunResult pred =
-            runVariant(p, VariantKind::MicrocodePrediction);
+    for (size_t pi = 0; pi < profiles.size(); ++pi) {
+        const BenchmarkProfile &p = profiles[pi];
+        const RunResult &base = results[pi * kinds.size()];
+        const RunResult &pred = results[pi * kinds.size() + 1];
         double slow =
             static_cast<double>(pred.cycles) / base.cycles - 1.0;
         double ovh = static_cast<double>(pred.footprintBytes) /

@@ -199,5 +199,35 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         child->dump(os, base);
 }
 
+json::Value
+StatGroup::toJson() const
+{
+    json::Value obj = json::Value::object();
+    for (const auto &[name, entry] : scalars)
+        obj.set(name, entry.stat->value());
+    for (const auto &[name, entry] : formulas)
+        obj.set(name, entry.formula());
+    for (const auto &[name, entry] : histograms) {
+        const Histogram &h = *entry.stat;
+        obj.set(name, json::Value::object()
+                          .set("count", h.count())
+                          .set("sum", h.sum())
+                          .set("mean", h.mean())
+                          .set("min", h.minSample())
+                          .set("max", h.maxSample()));
+    }
+    for (const StatGroup *child : children)
+        obj.set(child->name(), child->toJson());
+    return obj;
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    json::Value root = json::Value::object();
+    root.set(_name, toJson());
+    root.write(os, 2);
+}
+
 } // namespace stats
 } // namespace chex

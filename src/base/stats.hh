@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "base/json.hh"
+
 namespace chex
 {
 namespace stats
@@ -136,6 +138,16 @@ class StatGroup
 
     /** Dump the whole subtree as `prefix.name = value # desc`. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Build the subtree as a JSON object: scalars and formulas
+     * become numbers, histograms become {count, sum, mean, min, max}
+     * objects, child groups nest under their names.
+     */
+    json::Value toJson() const;
+
+    /** toJson() pretty-printed to @p os (no trailing newline). */
+    void dumpJson(std::ostream &os) const;
 
   private:
     struct ScalarEntry

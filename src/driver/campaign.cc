@@ -1,0 +1,197 @@
+#include "campaign.hh"
+
+#include <chrono>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <thread>
+
+#include "base/logging.hh"
+#include "workload/generator.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+uint64_t
+jobSeed(uint64_t campaign_seed, size_t index)
+{
+    // Decorrelate (seed, index) pairs with the splitmix64 finalizer;
+    // the golden-ratio stride keeps adjacent indices far apart.
+    uint64_t x = campaign_seed +
+                 0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(index) + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x ? x : 1;
+}
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Default job body: synthesize, simulate, sanity-check. */
+RunResult
+runSpec(const JobSpec &spec, uint64_t seed)
+{
+    System sys(spec.config);
+    sys.load(generateWorkload(spec.profile, seed));
+    RunResult r = sys.run();
+    if (!r.exited && !r.violationDetected && !r.hijackedControlFlow)
+        throw std::runtime_error(
+            csprintf("workload '%s' neither exited nor flagged a "
+                     "violation (macro-op cap %s)",
+                     spec.profile.name.c_str(),
+                     r.hitMacroCap ? "hit" : "not hit"));
+    return r;
+}
+
+/** Execute one job, including bounded retry and failure capture. */
+JobResult
+executeJob(const JobSpec &spec, size_t index,
+           const CampaignOptions &opts)
+{
+    JobResult jr;
+    jr.index = index;
+    jr.label = spec.label;
+    jr.profileName = spec.profile.name;
+    jr.variant = variantName(spec.config.variant.kind);
+    jr.repetition = spec.repetition;
+    jr.seed = spec.workloadSeed ? *spec.workloadSeed
+                                : jobSeed(opts.seed, index);
+
+    unsigned max_attempts = std::max(1u, opts.maxAttempts);
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        jr.attempts = attempt;
+        Clock::time_point start = Clock::now();
+        try {
+            jr.run = spec.body ? spec.body(spec, jr.seed)
+                               : runSpec(spec, jr.seed);
+            jr.wallSeconds = secondsSince(start);
+            jr.failed = false;
+            jr.error.clear();
+            return jr;
+        } catch (const std::exception &e) {
+            jr.wallSeconds = secondsSince(start);
+            jr.failed = true;
+            jr.error = e.what();
+        } catch (...) {
+            jr.wallSeconds = secondsSince(start);
+            jr.failed = true;
+            jr.error = "unknown exception";
+        }
+    }
+    return jr;
+}
+
+} // namespace
+
+CampaignReport
+runCampaign(const std::vector<JobSpec> &jobs,
+            const CampaignOptions &opts)
+{
+    CampaignReport report;
+    report.seed = opts.seed;
+    report.jobs.resize(jobs.size());
+
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    unsigned workers = opts.workers ? opts.workers : hw;
+    workers = std::max(1u,
+                       std::min<unsigned>(
+                           workers, static_cast<unsigned>(
+                                        std::max<size_t>(1, jobs.size()))));
+    report.workers = workers;
+
+    Clock::time_point campaign_start = Clock::now();
+
+    // Lock-guarded work queue of job indices. Results land in
+    // pre-sized slots, so workers only contend on the queue itself
+    // and on the (serialized) progress callback.
+    std::mutex mtx;
+    std::queue<size_t> pending;
+    for (size_t i = 0; i < jobs.size(); ++i)
+        pending.push(i);
+
+    auto worker_fn = [&]() {
+        for (;;) {
+            size_t index;
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                if (pending.empty())
+                    return;
+                index = pending.front();
+                pending.pop();
+            }
+            JobResult jr = executeJob(jobs[index], index, opts);
+            {
+                std::lock_guard<std::mutex> lock(mtx);
+                report.jobs[index] = std::move(jr);
+                if (opts.onJobDone)
+                    opts.onJobDone(report.jobs[index]);
+            }
+        }
+    };
+
+    if (workers == 1) {
+        worker_fn(); // in-caller: easier to debug, nothing to join
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            pool.emplace_back(worker_fn);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    report.wallSeconds = secondsSince(campaign_start);
+    for (const JobResult &jr : report.jobs) {
+        report.jobsRun++;
+        report.serialSeconds += jr.wallSeconds;
+        if (jr.failed) {
+            report.jobsFailed++;
+            continue;
+        }
+        report.totalCycles += jr.run.cycles;
+        report.totalUops += jr.run.uops;
+    }
+    report.speedup = report.wallSeconds > 0.0
+                         ? report.serialSeconds / report.wallSeconds
+                         : 0.0;
+    report.aggregateIpc =
+        report.totalCycles
+            ? static_cast<double>(report.totalUops) / report.totalCycles
+            : 0.0;
+    return report;
+}
+
+std::vector<JobSpec>
+buildMatrix(const std::vector<BenchmarkProfile> &profiles,
+            const std::vector<VariantKind> &variants,
+            uint64_t workload_seed, const SystemConfig &base)
+{
+    std::vector<JobSpec> jobs;
+    jobs.reserve(profiles.size() * variants.size());
+    for (const BenchmarkProfile &p : profiles) {
+        for (VariantKind kind : variants) {
+            JobSpec spec;
+            spec.label = p.name + "/" + variantName(kind);
+            spec.profile = p;
+            spec.config = base;
+            spec.config.variant.kind = kind;
+            spec.workloadSeed = workload_seed;
+            jobs.push_back(std::move(spec));
+        }
+    }
+    return jobs;
+}
+
+} // namespace driver
+} // namespace chex

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The simulation-campaign driver: runs a declarative list of jobs
+ * (workload profile × SystemConfig/variant × seed × repetition) on a
+ * fixed-size worker thread pool with a lock-guarded work queue and
+ * aggregates the per-job RunResults into a campaign report.
+ *
+ * Determinism contract: a job's outcome depends only on its JobSpec
+ * and its seed — the seed is either pinned in the spec or derived
+ * from (campaign seed, job index) via a splitmix64-style hash —
+ * never on scheduling. Each worker constructs the System, the
+ * workload program, and everything else it touches privately, so a
+ * campaign run with `workers = N` is bit-for-bit identical to the
+ * same campaign run with `workers = 1`.
+ *
+ * Failure isolation: a job whose body throws is recorded as failed
+ * (with the exception message and attempt count) and the rest of
+ * the campaign completes; an optional bounded retry re-runs a
+ * throwing job with the same seed up to maxAttempts times.
+ */
+
+#ifndef CHEX_DRIVER_CAMPAIGN_HH
+#define CHEX_DRIVER_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/profiles.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+/** One schedulable unit of simulation work. */
+struct JobSpec
+{
+    /** Display label, e.g. "mcf/ucode-pred". */
+    std::string label;
+
+    /** Workload to synthesize (by value: jobs share nothing). */
+    BenchmarkProfile profile;
+
+    /** Full system configuration, including the variant. */
+    SystemConfig config;
+
+    /**
+     * Pinned workload seed. Unset: the driver derives one from
+     * (campaign seed, job index), which keeps repetitions of the
+     * same (profile, config) statistically independent while staying
+     * schedule-invariant.
+     */
+    std::optional<uint64_t> workloadSeed;
+
+    /** Repetition ordinal for sweeps that re-run a point. */
+    unsigned repetition = 0;
+
+    /**
+     * Override of the job body (tests, custom campaigns). Default:
+     * build a System from `config`, load `generateWorkload(profile,
+     * seed)`, and run to completion; a run that neither exits nor
+     * flags a violation throws (stuck workload).
+     */
+    std::function<RunResult(const JobSpec &, uint64_t seed)> body;
+};
+
+/** Outcome of one job, failed or not. */
+struct JobResult
+{
+    size_t index = 0;        // position in the submitted job list
+    std::string label;
+    std::string profileName;
+    std::string variant;     // variantName() of config.variant.kind
+    uint64_t seed = 0;       // effective workload seed
+    unsigned repetition = 0;
+
+    bool failed = false;
+    unsigned attempts = 0;   // 1 on first-try success
+    std::string error;       // exception message when failed
+
+    double wallSeconds = 0.0; // of the last attempt
+    RunResult run;            // valid only when !failed
+};
+
+/** Campaign-wide execution knobs. */
+struct CampaignOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned workers = 0;
+
+    /** Campaign seed: root of all derived per-job seeds. */
+    uint64_t seed = 1;
+
+    /** Attempts per job (>= 1); retries re-use the job's seed. */
+    unsigned maxAttempts = 1;
+
+    /**
+     * Progress hook, invoked as each job finishes. Serialized by the
+     * driver's lock (completion order, not submission order).
+     */
+    std::function<void(const JobResult &)> onJobDone;
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignReport
+{
+    std::vector<JobResult> jobs; // submission order
+    unsigned workers = 0;
+    uint64_t seed = 0;
+
+    size_t jobsRun = 0;
+    size_t jobsFailed = 0;
+
+    double wallSeconds = 0.0;   // campaign wall clock
+    double serialSeconds = 0.0; // sum of per-job wall clocks
+    double speedup = 0.0;       // serialSeconds / wallSeconds
+
+    uint64_t totalCycles = 0;   // over succeeded jobs
+    uint64_t totalUops = 0;
+    double aggregateIpc = 0.0;  // totalUops / totalCycles
+};
+
+/**
+ * Derive the workload seed for job @p index of a campaign seeded
+ * with @p campaign_seed (splitmix64 finalizer; never returns 0).
+ */
+uint64_t jobSeed(uint64_t campaign_seed, size_t index);
+
+/** Run @p jobs to completion on the worker pool. */
+CampaignReport runCampaign(const std::vector<JobSpec> &jobs,
+                           const CampaignOptions &opts = {});
+
+/**
+ * Build the (profile × variant) cross-product job list benches and
+ * the CLI sweep, every job pinned to @p workload_seed so a given
+ * profile sees the identical program under every variant. @p base
+ * supplies all non-variant configuration.
+ */
+std::vector<JobSpec>
+buildMatrix(const std::vector<BenchmarkProfile> &profiles,
+            const std::vector<VariantKind> &variants,
+            uint64_t workload_seed, const SystemConfig &base = {});
+
+} // namespace driver
+} // namespace chex
+
+#endif // CHEX_DRIVER_CAMPAIGN_HH

@@ -1,0 +1,126 @@
+#include "report.hh"
+
+#include "cap/capability.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+json::Value
+toJson(const ViolationRecord &v)
+{
+    return json::Value::object()
+        .set("kind", violationName(v.kind))
+        .set("pc", v.pc)
+        .set("addr", v.addr)
+        .set("pid", static_cast<uint64_t>(v.pid));
+}
+
+json::Value
+toJson(const RunResult &r)
+{
+    json::Value violations = json::Value::array();
+    for (const ViolationRecord &v : r.violations)
+        violations.push(toJson(v));
+
+    return json::Value::object()
+        // Outcome
+        .set("exited", r.exited)
+        .set("violationDetected", r.violationDetected)
+        .set("hijackedControlFlow", r.hijackedControlFlow)
+        .set("hitMacroCap", r.hitMacroCap)
+        .set("violations", std::move(violations))
+        // Timing
+        .set("cycles", r.cycles)
+        .set("macroOps", r.macroOps)
+        .set("uops", r.uops)
+        .set("ipc", r.ipc)
+        .set("seconds", r.seconds)
+        .set("squashCyclesBranch", r.squashCyclesBranch)
+        .set("squashCyclesAlias", r.squashCyclesAlias)
+        .set("squashFraction", r.squashFraction)
+        .set("branchMispredicts", r.branchMispredicts)
+        // Capability machinery
+        .set("capChecksInjected", r.capChecksInjected)
+        .set("zeroIdiomChecks", r.zeroIdiomChecks)
+        .set("injectedUops", r.injectedUops)
+        .set("capCacheMissRate", r.capCacheMissRate)
+        .set("capCacheAccesses", r.capCacheAccesses)
+        // Alias machinery
+        .set("aliasCacheMissRate", r.aliasCacheMissRate)
+        .set("aliasCacheAccesses", r.aliasCacheAccesses)
+        .set("aliasPredAccuracy", r.aliasPredAccuracy)
+        .set("reloadMispredictionRate", r.reloadMispredictionRate)
+        .set("p0anFlushes", r.p0anFlushes)
+        .set("pmanForwards", r.pmanForwards)
+        .set("pna0ZeroIdioms", r.pna0ZeroIdioms)
+        .set("pointerSpills", r.pointerSpills)
+        .set("pointerReloads", r.pointerReloads)
+        .set("loads", r.loads)
+        // Memory
+        .set("dramBytes", r.dramBytes)
+        .set("bandwidthMBps", r.bandwidthMBps)
+        .set("residentBytes", r.residentBytes)
+        .set("shadowBytes", r.shadowBytes)
+        .set("footprintBytes", r.footprintBytes)
+        // Heap behaviour
+        .set("totalAllocations", r.totalAllocations)
+        .set("maxLiveAllocations", r.maxLiveAllocations)
+        .set("avgAllocationsInUse", r.avgAllocationsInUse);
+}
+
+json::Value
+toJson(const JobResult &jr)
+{
+    json::Value job = json::Value::object()
+                          .set("index", static_cast<uint64_t>(jr.index))
+                          .set("label", jr.label)
+                          .set("profile", jr.profileName)
+                          .set("variant", jr.variant)
+                          .set("seed", jr.seed)
+                          .set("repetition", jr.repetition)
+                          .set("status", jr.failed ? "failed" : "ok")
+                          .set("attempts", jr.attempts)
+                          .set("wallSeconds", jr.wallSeconds);
+    if (jr.failed)
+        job.set("error", jr.error);
+    else
+        job.set("result", toJson(jr.run));
+    return job;
+}
+
+json::Value
+toJson(const CampaignReport &report)
+{
+    json::Value jobs = json::Value::array();
+    for (const JobResult &jr : report.jobs)
+        jobs.push(toJson(jr));
+
+    return json::Value::object()
+        .set("schema", "chex-campaign-report-v1")
+        .set("seed", report.seed)
+        .set("workers", report.workers)
+        .set("summary",
+             json::Value::object()
+                 .set("jobsRun", static_cast<uint64_t>(report.jobsRun))
+                 .set("jobsFailed",
+                      static_cast<uint64_t>(report.jobsFailed))
+                 .set("wallSeconds", report.wallSeconds)
+                 .set("serialSeconds", report.serialSeconds)
+                 .set("speedupVsSerial", report.speedup)
+                 .set("totalCycles", report.totalCycles)
+                 .set("totalUops", report.totalUops)
+                 .set("aggregateIpc", report.aggregateIpc))
+        .set("jobs", std::move(jobs));
+}
+
+void
+writeReport(const CampaignReport &report, std::ostream &os)
+{
+    toJson(report).write(os, 2);
+    os << "\n";
+}
+
+} // namespace driver
+} // namespace chex

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Campaign-report serialization: RunResult, JobResult, and
+ * CampaignReport → JSON (schema "chex-campaign-report-v1", described
+ * in DESIGN.md). The RunResult serializer is also what single runs
+ * use to emit structured stats next to System::dumpStatsJson.
+ */
+
+#ifndef CHEX_DRIVER_REPORT_HH
+#define CHEX_DRIVER_REPORT_HH
+
+#include <ostream>
+
+#include "base/json.hh"
+#include "driver/campaign.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+/** Every RunResult field as a flat JSON object. */
+json::Value toJson(const RunResult &r);
+
+/** One violation record as {kind, pc, addr, pid}. */
+json::Value toJson(const ViolationRecord &v);
+
+/** One job outcome; includes the RunResult unless the job failed. */
+json::Value toJson(const JobResult &jr);
+
+/** The whole campaign: schema tag, summary block, per-job array. */
+json::Value toJson(const CampaignReport &report);
+
+/** Pretty-print the campaign report JSON to @p os (with newline). */
+void writeReport(const CampaignReport &report, std::ostream &os);
+
+} // namespace driver
+} // namespace chex
+
+#endif // CHEX_DRIVER_REPORT_HH

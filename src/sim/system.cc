@@ -722,7 +722,7 @@ System::run()
 }
 
 void
-System::dumpStats(std::ostream &os)
+System::visitStats(const std::function<void(stats::StatGroup &)> &visit)
 {
     stats::StatGroup root("system");
 
@@ -776,7 +776,22 @@ System::dumpStats(std::ostream &os)
     root.addChild(&hier.l1d().statGroup());
     root.addChild(&hier.l2().statGroup());
 
-    root.dump(os);
+    visit(root);
+}
+
+void
+System::dumpStats(std::ostream &os)
+{
+    visitStats([&os](stats::StatGroup &root) { root.dump(os); });
+}
+
+void
+System::dumpStatsJson(std::ostream &os)
+{
+    visitStats([&os](stats::StatGroup &root) {
+        root.dumpJson(os);
+        os << "\n";
+    });
 }
 
 } // namespace chex

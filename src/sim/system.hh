@@ -17,9 +17,12 @@
 #define CHEX_SIM_SYSTEM_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_set>
 #include <vector>
+
+#include "base/stats.hh"
 
 #include "cap/cap_cache.hh"
 #include "cap/cap_table.hh"
@@ -146,6 +149,12 @@ class System
      */
     void dumpStats(std::ostream &os);
 
+    /**
+     * The same statistics tree as dumpStats, serialized as a JSON
+     * object (trailing newline included) for machine consumption.
+     */
+    void dumpStatsJson(std::ostream &os);
+
     /** @{ @name Component access (tests, benches) */
     CapabilityTable &capabilityTable() { return capTable; }
     CapabilityCache &capabilityCache() { return capCache; }
@@ -167,6 +176,9 @@ class System
         Pid genPid = NoPid;   // capability being generated
         Pid freePid = NoPid;  // capability being freed (free/realloc)
     };
+
+    /** Build the stat tree and hand it to @p visit (dump helpers). */
+    void visitStats(const std::function<void(stats::StatGroup &)> &visit);
 
     bool trackerEnabled() const
     {

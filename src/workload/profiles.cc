@@ -1,5 +1,7 @@
 #include "profiles.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace chex
@@ -90,6 +92,15 @@ buildProfiles()
 }
 
 } // anonymous namespace
+
+BenchmarkProfile
+BenchmarkProfile::scaledBy(uint64_t divisor) const
+{
+    BenchmarkProfile p = *this;
+    p.iterations = std::max<uint64_t>(
+        200, iterations / std::max<uint64_t>(1, divisor));
+    return p;
+}
 
 const std::vector<BenchmarkProfile> &
 allProfiles()

@@ -62,6 +62,13 @@ struct BenchmarkProfile
 
     /** Schedule length before it repeats. */
     unsigned scheduleLength = 2048;
+
+    /**
+     * Copy with the outer iteration count divided by @p divisor,
+     * clamped to the 200-iteration floor every harness uses for
+     * smoke runs (CHEX_BENCH_SCALE, chex-campaign --scale).
+     */
+    BenchmarkProfile scaledBy(uint64_t divisor) const;
 };
 
 /** All 14 profiles (8 SPEC + 6 PARSEC), Figure 6 order. */

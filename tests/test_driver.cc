@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Campaign-driver tests: scheduling-independent determinism (an
+ * N-thread campaign reproduces the 1-thread campaign bit for bit),
+ * per-job failure isolation and bounded retry, seed derivation, the
+ * JSON value type (writer + parser round trip), and the campaign
+ * report / single-run stats serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/json.hh"
+#include "driver/campaign.hh"
+#include "driver/report.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+namespace chex
+{
+namespace
+{
+
+/** A tiny profile so each job runs in milliseconds. */
+BenchmarkProfile
+tinyProfile(const char *name = "tiny")
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.totalAllocations = 40;
+    p.maxLiveBuffers = 16;
+    p.buffersInUse = 4;
+    p.iterations = 400;
+    p.scheduleLength = 128;
+    return p;
+}
+
+/** An 8-job campaign mixing variants and repetitions. */
+std::vector<driver::JobSpec>
+eightJobs()
+{
+    const VariantKind kinds[] = {
+        VariantKind::Baseline,
+        VariantKind::MicrocodePrediction,
+        VariantKind::MicrocodeAlwaysOn,
+        VariantKind::Asan,
+    };
+    std::vector<driver::JobSpec> jobs;
+    for (unsigned rep = 0; rep < 2; ++rep) {
+        for (VariantKind kind : kinds) {
+            driver::JobSpec spec;
+            spec.label = std::string(variantName(kind)) + "#" +
+                         std::to_string(rep);
+            spec.profile = tinyProfile();
+            spec.config.variant.kind = kind;
+            spec.repetition = rep;
+            // No pinned seed: derived from (campaign seed, index).
+            jobs.push_back(std::move(spec));
+        }
+    }
+    return jobs;
+}
+
+TEST(JobSeed, DeterministicNonZeroAndSpread)
+{
+    EXPECT_EQ(driver::jobSeed(1, 0), driver::jobSeed(1, 0));
+    std::set<uint64_t> seen;
+    for (size_t i = 0; i < 100; ++i) {
+        uint64_t s = driver::jobSeed(42, i);
+        EXPECT_NE(s, 0u);
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 100u); // no collisions in a small sweep
+    EXPECT_NE(driver::jobSeed(1, 0), driver::jobSeed(2, 0));
+}
+
+TEST(Campaign, ParallelMatchesSerial)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+
+    driver::CampaignOptions serial;
+    serial.workers = 1;
+    serial.seed = 7;
+    driver::CampaignReport a = driver::runCampaign(jobs, serial);
+
+    driver::CampaignOptions parallel;
+    parallel.workers = 4;
+    parallel.seed = 7;
+    driver::CampaignReport b = driver::runCampaign(jobs, parallel);
+
+    ASSERT_EQ(a.jobs.size(), jobs.size());
+    ASSERT_EQ(b.jobs.size(), jobs.size());
+    EXPECT_EQ(a.jobsFailed, 0u);
+    EXPECT_EQ(b.jobsFailed, 0u);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(a.jobs[i].label);
+        EXPECT_EQ(a.jobs[i].seed, b.jobs[i].seed);
+        EXPECT_EQ(a.jobs[i].run.cycles, b.jobs[i].run.cycles);
+        EXPECT_EQ(a.jobs[i].run.macroOps, b.jobs[i].run.macroOps);
+        EXPECT_EQ(a.jobs[i].run.uops, b.jobs[i].run.uops);
+        EXPECT_EQ(a.jobs[i].run.violations.size(),
+                  b.jobs[i].run.violations.size());
+        EXPECT_EQ(a.jobs[i].run.capChecksInjected,
+                  b.jobs[i].run.capChecksInjected);
+    }
+}
+
+TEST(Campaign, DerivedSeedsDifferAcrossRepetitions)
+{
+    driver::CampaignReport r =
+        driver::runCampaign(eightJobs(), {});
+    ASSERT_EQ(r.jobs.size(), 8u);
+    // Same (profile, variant) point, different repetition => the
+    // derived seeds differ, so the generated workloads are
+    // statistically independent. (Cycle counts may still coincide
+    // on a workload this small, so only the seeds are asserted.)
+    EXPECT_NE(r.jobs[0].seed, r.jobs[4].seed);
+}
+
+TEST(Campaign, ThrowingJobIsIsolated)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs[3].body = [](const driver::JobSpec &, uint64_t) -> RunResult {
+        throw std::runtime_error("injected fault");
+    };
+
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    driver::CampaignReport r = driver::runCampaign(jobs, opts);
+
+    EXPECT_EQ(r.jobsRun, jobs.size());
+    EXPECT_EQ(r.jobsFailed, 1u);
+    EXPECT_TRUE(r.jobs[3].failed);
+    EXPECT_EQ(r.jobs[3].error, "injected fault");
+    EXPECT_EQ(r.jobs[3].attempts, 1u);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (i == 3)
+            continue;
+        EXPECT_FALSE(r.jobs[i].failed) << i;
+        EXPECT_TRUE(r.jobs[i].run.exited) << i;
+    }
+}
+
+TEST(Campaign, BoundedRetryRecovers)
+{
+    auto flaky_failures = std::make_shared<std::atomic<int>>(2);
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs[1].body = [flaky_failures](const driver::JobSpec &spec,
+                                    uint64_t seed) -> RunResult {
+        if (flaky_failures->fetch_sub(1) > 0)
+            throw std::runtime_error("transient");
+        System sys(spec.config);
+        sys.load(generateWorkload(spec.profile, seed));
+        return sys.run();
+    };
+
+    driver::CampaignOptions opts;
+    opts.workers = 1;
+    opts.maxAttempts = 3;
+    driver::CampaignReport r = driver::runCampaign(jobs, opts);
+
+    EXPECT_EQ(r.jobsFailed, 0u);
+    EXPECT_EQ(r.jobs[1].attempts, 3u);
+    EXPECT_TRUE(r.jobs[1].run.exited);
+    EXPECT_EQ(r.jobs[0].attempts, 1u);
+}
+
+TEST(Campaign, SummaryAggregates)
+{
+    driver::CampaignReport r =
+        driver::runCampaign(eightJobs(), {});
+    EXPECT_EQ(r.jobsRun, 8u);
+    EXPECT_EQ(r.jobsFailed, 0u);
+    EXPECT_GT(r.totalCycles, 0u);
+    EXPECT_GT(r.totalUops, 0u);
+    EXPECT_GT(r.aggregateIpc, 0.0);
+    EXPECT_GT(r.wallSeconds, 0.0);
+    EXPECT_GE(r.serialSeconds, 0.0);
+}
+
+TEST(Json, WriteParseRoundTrip)
+{
+    json::Value v = json::Value::object()
+                        .set("int", uint64_t(1234567890123ull))
+                        .set("neg", -3.5)
+                        .set("flag", true)
+                        .set("none", json::Value())
+                        .set("text", "line\n\"quoted\"\ttab")
+                        .set("arr", json::Value::array()
+                                        .push(1)
+                                        .push("two")
+                                        .push(false));
+    std::string text = v.dump(2);
+
+    json::Value back;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(text, back, &err)) << err;
+    EXPECT_EQ(back.at("int").number(), 1234567890123.0);
+    EXPECT_EQ(back.at("neg").number(), -3.5);
+    EXPECT_TRUE(back.at("flag").boolean());
+    EXPECT_TRUE(back.at("none").isNull());
+    EXPECT_EQ(back.at("text").str(), "line\n\"quoted\"\ttab");
+    ASSERT_EQ(back.at("arr").size(), 3u);
+    EXPECT_EQ(back.at("arr").at(size_t(1)).str(), "two");
+    // Canonical re-dump is stable.
+    EXPECT_EQ(back.dump(2), text);
+}
+
+TEST(Json, Uint64RoundTripsExactly)
+{
+    // Values above 2^53 (e.g. derived seeds) must not be flattened
+    // through a double on the way to disk or back.
+    const uint64_t big = 10451216379200823296ull;
+    json::Value v = json::Value::object().set("seed", big);
+    std::string text = v.dump();
+    EXPECT_NE(text.find("10451216379200823296"), std::string::npos)
+        << text;
+
+    json::Value back;
+    ASSERT_TRUE(json::Value::parse(text, back, nullptr));
+    EXPECT_EQ(back.at("seed").asUint64(), big);
+}
+
+TEST(Json, ParserRejectsMalformed)
+{
+    json::Value out;
+    EXPECT_FALSE(json::Value::parse("{", out));
+    EXPECT_FALSE(json::Value::parse("[1,]", out));
+    EXPECT_FALSE(json::Value::parse("{\"a\":1} trailing", out));
+    EXPECT_FALSE(json::Value::parse("\"unterminated", out));
+    EXPECT_TRUE(json::Value::parse(" [ ] ", out));
+    EXPECT_TRUE(json::Value::parse("{\"u\":\"\\u0041\"}", out));
+    EXPECT_EQ(out.at("u").str(), "A");
+}
+
+TEST(Report, CampaignJsonRoundTrips)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs[5].body = [](const driver::JobSpec &, uint64_t) -> RunResult {
+        throw std::runtime_error("boom");
+    };
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = 11;
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+
+    std::ostringstream ss;
+    driver::writeReport(report, ss);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
+
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v1");
+    EXPECT_EQ(doc.at("seed").number(), 11.0);
+    const json::Value &summary = doc.at("summary");
+    EXPECT_EQ(summary.at("jobsRun").number(), 8.0);
+    EXPECT_EQ(summary.at("jobsFailed").number(), 1.0);
+
+    const json::Value &jarr = doc.at("jobs");
+    ASSERT_EQ(jarr.size(), 8u);
+    for (size_t i = 0; i < jarr.size(); ++i) {
+        const json::Value &job = jarr.at(i);
+        EXPECT_EQ(job.at("index").number(), double(i));
+        if (i == 5) {
+            EXPECT_EQ(job.at("status").str(), "failed");
+            EXPECT_EQ(job.at("error").str(), "boom");
+            EXPECT_EQ(job.find("result"), nullptr);
+        } else {
+            EXPECT_EQ(job.at("status").str(), "ok");
+            const json::Value &res = job.at("result");
+            EXPECT_EQ(res.at("cycles").number(),
+                      double(report.jobs[i].run.cycles));
+            EXPECT_EQ(res.at("uops").number(),
+                      double(report.jobs[i].run.uops));
+            EXPECT_TRUE(res.at("exited").boolean());
+            EXPECT_TRUE(res.at("violations").isArray());
+        }
+    }
+}
+
+TEST(Report, ViolationRecordsSerialized)
+{
+    // An out-of-bounds workload: single run through the serializer.
+    driver::JobSpec spec;
+    spec.profile = tinyProfile();
+    spec.body = [](const driver::JobSpec &s, uint64_t) -> RunResult {
+        System sys(s.config);
+        Program prog = generateSmokeProgram(2, 64);
+        sys.load(prog);
+        return sys.run();
+    };
+    driver::CampaignReport r = driver::runCampaign({spec}, {});
+    ASSERT_EQ(r.jobs.size(), 1u);
+
+    json::Value job = driver::toJson(r.jobs[0]);
+    const json::Value &res = job.at("result");
+    ASSERT_TRUE(res.at("violations").isArray());
+    for (size_t i = 0; i < res.at("violations").size(); ++i) {
+        const json::Value &v = res.at("violations").at(i);
+        EXPECT_TRUE(v.find("kind"));
+        EXPECT_TRUE(v.find("pc"));
+        EXPECT_TRUE(v.find("addr"));
+    }
+}
+
+TEST(Report, SystemDumpStatsJsonParses)
+{
+    SystemConfig cfg;
+    System sys(cfg);
+    sys.load(generateWorkload(tinyProfile(), 5));
+    RunResult r = sys.run();
+    ASSERT_TRUE(r.exited);
+
+    std::ostringstream ss;
+    sys.dumpStatsJson(ss);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
+    const json::Value &system = doc.at("system");
+    EXPECT_GT(system.at("core").at("cycles").number(), 0.0);
+    EXPECT_EQ(system.at("core").at("cycles").number(),
+              double(r.cycles));
+}
+
+} // namespace
+} // namespace chex

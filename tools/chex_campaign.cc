@@ -1,0 +1,274 @@
+/**
+ * @file
+ * chex-campaign: the command-line front end of the campaign driver.
+ * Runs a named set of paper profiles across enforcement variants on
+ * the worker pool and writes the JSON campaign report.
+ *
+ *   chex-campaign --profiles spec --variants baseline,ucode-pred \
+ *                 --jobs 8 --seed 7 --reps 3 --out report.json
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "driver/campaign.hh"
+#include "driver/report.hh"
+#include "workload/profiles.hh"
+
+using namespace chex;
+
+namespace
+{
+
+/** Short CLI tokens for the six variants. */
+const std::map<std::string, VariantKind> &
+variantTokens()
+{
+    static const std::map<std::string, VariantKind> tokens = {
+        {"baseline", VariantKind::Baseline},
+        {"hw-only", VariantKind::HardwareOnly},
+        {"bintrans", VariantKind::BinaryTranslation},
+        {"ucode-always", VariantKind::MicrocodeAlwaysOn},
+        {"ucode-pred", VariantKind::MicrocodePrediction},
+        {"asan", VariantKind::Asan},
+    };
+    return tokens;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "\n"
+        "Run a simulation campaign (profiles x variants x reps) on a\n"
+        "worker thread pool and emit a JSON report.\n"
+        "\n"
+        "  --profiles LIST  comma-separated profile names, or one of\n"
+        "                   'spec', 'parsec', 'all' (default: spec)\n"
+        "  --variants LIST  comma-separated variant tokens, or 'all'\n"
+        "                   (default: baseline,ucode-pred)\n"
+        "  --jobs N         worker threads (default: all cores)\n"
+        "  --seed S         campaign seed (default: 1)\n"
+        "  --reps R         repetitions per point, each with a seed\n"
+        "                   derived from (seed, job index) (default: 1)\n"
+        "  --scale K        divide workload iteration counts by K\n"
+        "                   (default: $CHEX_BENCH_SCALE or 1)\n"
+        "  --retries N      attempts per job before it is recorded\n"
+        "                   as failed (default: 1)\n"
+        "  --out FILE       write the JSON report to FILE\n"
+        "  --quiet          suppress per-job progress lines\n"
+        "  --list           list profiles and variant tokens, exit\n",
+        argv0);
+}
+
+void
+listChoices()
+{
+    std::printf("profiles:\n");
+    for (const BenchmarkProfile &p : allProfiles())
+        std::printf("  %-12s (%s)\n", p.name.c_str(),
+                    p.isParsec ? "PARSEC" : "SPEC");
+    std::printf("variants:\n");
+    for (const auto &[token, kind] : variantTokens())
+        std::printf("  %-12s = %s\n", token.c_str(),
+                    variantName(kind));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string profiles_arg = "spec";
+    std::string variants_arg = "baseline,ucode-pred";
+    std::string out_path;
+    unsigned jobs = 0;
+    uint64_t seed = 1;
+    unsigned reps = 1;
+    uint64_t scale = 1;
+    unsigned retries = 1;
+    bool quiet = false;
+
+    if (const char *s = std::getenv("CHEX_BENCH_SCALE")) {
+        uint64_t v = std::strtoull(s, nullptr, 10);
+        if (v > 0)
+            scale = v;
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *opt) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             opt);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--profiles") {
+            profiles_arg = next("--profiles");
+        } else if (arg == "--variants") {
+            variants_arg = next("--variants");
+        } else if (arg == "--jobs") {
+            jobs = std::strtoul(next("--jobs"), nullptr, 10);
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next("--seed"), nullptr, 10);
+        } else if (arg == "--reps") {
+            reps = std::strtoul(next("--reps"), nullptr, 10);
+        } else if (arg == "--scale") {
+            scale = std::strtoull(next("--scale"), nullptr, 10);
+        } else if (arg == "--retries") {
+            retries = std::strtoul(next("--retries"), nullptr, 10);
+        } else if (arg == "--out") {
+            out_path = next("--out");
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list") {
+            listChoices();
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (reps == 0)
+        reps = 1;
+    if (scale == 0)
+        scale = 1;
+
+    // Resolve profiles.
+    std::vector<BenchmarkProfile> profiles;
+    if (profiles_arg == "spec") {
+        profiles = specProfiles();
+    } else if (profiles_arg == "parsec") {
+        profiles = parsecProfiles();
+    } else if (profiles_arg == "all") {
+        profiles = allProfiles();
+    } else {
+        for (const std::string &name : splitCommas(profiles_arg))
+            profiles.push_back(profileByName(name)); // fatal if unknown
+    }
+    for (BenchmarkProfile &p : profiles)
+        p = p.scaledBy(scale);
+
+    // Resolve variants.
+    std::vector<VariantKind> variants;
+    if (variants_arg == "all") {
+        for (const auto &[token, kind] : variantTokens())
+            variants.push_back(kind);
+    } else {
+        for (const std::string &token : splitCommas(variants_arg)) {
+            auto it = variantTokens().find(token);
+            if (it == variantTokens().end()) {
+                std::fprintf(stderr,
+                             "%s: unknown variant '%s' (see --list)\n",
+                             argv[0], token.c_str());
+                return 2;
+            }
+            variants.push_back(it->second);
+        }
+    }
+    if (profiles.empty() || variants.empty()) {
+        std::fprintf(stderr, "%s: nothing to run\n", argv[0]);
+        return 2;
+    }
+
+    // Build the job list: (profile x variant) x reps. A single rep
+    // pins the workload seed so every variant sees the identical
+    // program; with reps the driver derives per-job seeds instead.
+    std::vector<driver::JobSpec> specs;
+    for (const BenchmarkProfile &p : profiles) {
+        for (VariantKind kind : variants) {
+            for (unsigned r = 0; r < reps; ++r) {
+                driver::JobSpec spec;
+                spec.label = p.name + std::string("/") +
+                             variantName(kind);
+                if (reps > 1)
+                    spec.label += csprintf("#%u", r);
+                spec.profile = p;
+                spec.config.variant.kind = kind;
+                spec.repetition = r;
+                if (reps == 1)
+                    spec.workloadSeed = seed;
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+
+    // Open the report file before burning simulation time on the
+    // campaign, so a bad path fails fast.
+    std::ofstream out;
+    if (!out_path.empty()) {
+        out.open(out_path);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+                         out_path.c_str());
+            return 1;
+        }
+    }
+
+    driver::CampaignOptions opts;
+    opts.workers = jobs;
+    opts.seed = seed;
+    opts.maxAttempts = retries;
+    size_t done = 0;
+    if (!quiet) {
+        opts.onJobDone = [&](const driver::JobResult &jr) {
+            ++done;
+            if (jr.failed) {
+                std::printf("[%3zu/%zu] %-40s FAILED (%s)\n", done,
+                            specs.size(), jr.label.c_str(),
+                            jr.error.c_str());
+            } else {
+                std::printf("[%3zu/%zu] %-40s %10lu cycles  ipc %.2f"
+                            "  %.2fs\n",
+                            done, specs.size(), jr.label.c_str(),
+                            static_cast<unsigned long>(jr.run.cycles),
+                            jr.run.ipc, jr.wallSeconds);
+            }
+            std::fflush(stdout);
+        };
+    }
+
+    driver::CampaignReport report = driver::runCampaign(specs, opts);
+
+    std::printf("\ncampaign: %zu jobs (%zu failed) on %u workers, "
+                "%.2fs wall (serial %.2fs, speedup %.2fx), "
+                "aggregate ipc %.2f\n",
+                report.jobsRun, report.jobsFailed, report.workers,
+                report.wallSeconds, report.serialSeconds,
+                report.speedup, report.aggregateIpc);
+
+    if (out.is_open()) {
+        driver::writeReport(report, out);
+        std::printf("report: %s\n", out_path.c_str());
+    }
+
+    return report.jobsFailed ? 1 : 0;
+}
