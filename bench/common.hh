@@ -9,9 +9,11 @@
 #ifndef CHEX_BENCH_COMMON_HH
 #define CHEX_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,16 +28,39 @@ namespace chex
 namespace bench
 {
 
+/**
+ * Parse env var @p name as a positive integer. Garbage, zero, and
+ * negative values are rejected with a stderr warning and replaced by
+ * @p dflt (clamped to >= 1) instead of being silently misread.
+ */
+inline uint64_t
+positiveEnv(const char *name, uint64_t dflt)
+{
+    uint64_t fallback = dflt ? dflt : 1;
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return fallback;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    // strtoull wraps negatives around instead of failing.
+    bool negative = std::strchr(s, '-') != nullptr;
+    if (negative || errno != 0 || !end || *end != '\0' || v == 0) {
+        std::fprintf(stderr,
+                     "bench: %s='%s' is not a positive integer; "
+                     "using %llu\n",
+                     name, s,
+                     static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
+}
+
 /** Iteration divisor from $CHEX_BENCH_SCALE (default 1). */
 inline uint64_t
 scale()
 {
-    if (const char *s = std::getenv("CHEX_BENCH_SCALE")) {
-        uint64_t v = std::strtoull(s, nullptr, 10);
-        if (v > 0)
-            return v;
-    }
-    return 1;
+    return positiveEnv("CHEX_BENCH_SCALE", 1);
 }
 
 /** Run @p profile under @p cfg; returns the collected results. */
@@ -70,14 +95,40 @@ runVariant(const BenchmarkProfile &profile, VariantKind kind,
 inline unsigned
 benchJobs()
 {
-    if (const char *s = std::getenv("CHEX_BENCH_JOBS")) {
-        unsigned v = static_cast<unsigned>(
-            std::strtoul(s, nullptr, 10));
-        if (v > 0)
-            return v;
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return static_cast<unsigned>(
+        positiveEnv("CHEX_BENCH_JOBS", hw ? hw : 1));
+}
+
+/** Fork-isolated sweep workers: $CHEX_BENCH_ISOLATE (0/unset = off). */
+inline bool
+benchIsolate()
+{
+    const char *s = std::getenv("CHEX_BENCH_ISOLATE");
+    return s && *s && std::strcmp(s, "0") != 0;
+}
+
+/**
+ * Per-attempt watchdog for isolated sweeps, in seconds:
+ * $CHEX_BENCH_TIMEOUT (0/unset = no watchdog; non-numbers warn and
+ * disable it).
+ */
+inline double
+benchTimeout()
+{
+    const char *s = std::getenv("CHEX_BENCH_TIMEOUT");
+    if (!s || !*s)
+        return 0.0;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (!end || *end != '\0' || !(v >= 0.0)) {
+        std::fprintf(stderr,
+                     "bench: CHEX_BENCH_TIMEOUT='%s' is not a "
+                     "non-negative number of seconds; watchdog off\n",
+                     s);
+        return 0.0;
+    }
+    return v;
 }
 
 /**
@@ -85,6 +136,8 @@ benchJobs()
  * pool. Applies the same CHEX_BENCH_SCALE iteration scaling and the
  * same fixed workload seed as runProfile/runVariant, so the results
  * are identical to the serial helpers — just produced in parallel.
+ * CHEX_BENCH_ISOLATE=1 forks each job into its own child (crash
+ * capture) and CHEX_BENCH_TIMEOUT bounds each attempt's wall clock.
  *
  * Returns results in row-major order:
  * `results[pi * variants.size() + vi]`.
@@ -103,6 +156,8 @@ runMatrix(const std::vector<BenchmarkProfile> &profiles,
     driver::CampaignOptions opts;
     opts.workers = benchJobs();
     opts.seed = seed;
+    opts.isolation = benchIsolate();
+    opts.timeoutSeconds = benchTimeout();
     driver::CampaignReport report = driver::runCampaign(jobs, opts);
 
     std::vector<RunResult> results;

@@ -44,10 +44,25 @@ class Value
     Value(std::nullptr_t) {}
     Value(bool b) : _kind(Kind::Bool), _bool(b) {}
     Value(double d) : _kind(Kind::Number), _num(d) {}
-    Value(int i) : _kind(Kind::Number), _num(i) {}
+    // Non-negative signed integers keep the exact-uint flag too, so
+    // asUint64() never round-trips an int-constructed counter
+    // through its double approximation.
+    Value(int i) : _kind(Kind::Number), _num(i)
+    {
+        if (i >= 0) {
+            _uint = static_cast<uint64_t>(i);
+            _exactUint = true;
+        }
+    }
     Value(unsigned u) : Value(static_cast<uint64_t>(u)) {}
     Value(int64_t i)
-        : _kind(Kind::Number), _num(static_cast<double>(i)) {}
+        : _kind(Kind::Number), _num(static_cast<double>(i))
+    {
+        if (i >= 0) {
+            _uint = static_cast<uint64_t>(i);
+            _exactUint = true;
+        }
+    }
     // Unsigned 64-bit values (counters, seeds) stay exact: the
     // writer prints the integer, not its double approximation.
     Value(uint64_t u)
@@ -140,6 +155,23 @@ class Value
 
 /** Write @p s as a quoted, escaped JSON string literal. */
 void writeEscaped(std::ostream &os, const std::string &s);
+
+/**
+ * @{ @name Parse→struct helpers
+ *
+ * Member lookups with a default, for mapping parsed documents onto
+ * structs (the `fromJson` direction of the report serializers): the
+ * default is returned when @p obj is not an object, the member is
+ * absent, or the member has the wrong kind, so optional/older-schema
+ * fields read cleanly.
+ */
+bool getBool(const Value &obj, const std::string &key, bool dflt);
+uint64_t getUint(const Value &obj, const std::string &key,
+                 uint64_t dflt);
+double getDouble(const Value &obj, const std::string &key, double dflt);
+std::string getString(const Value &obj, const std::string &key,
+                      const std::string &dflt);
+/** @} */
 
 } // namespace json
 } // namespace chex

@@ -7,12 +7,40 @@
 #include <thread>
 
 #include "base/logging.hh"
+#include "driver/subprocess.hh"
 #include "workload/generator.hh"
 
 namespace chex
 {
 namespace driver
 {
+
+const char *
+failureCauseName(FailureCause cause)
+{
+    switch (cause) {
+      case FailureCause::None: return "none";
+      case FailureCause::Exception: return "exception";
+      case FailureCause::Signal: return "signal";
+      case FailureCause::Timeout: return "timeout";
+      case FailureCause::NonzeroExit: return "nonzero-exit";
+      default: return "???";
+    }
+}
+
+FailureCause
+failureCauseFromName(const std::string &name)
+{
+    static const FailureCause all[] = {
+        FailureCause::None, FailureCause::Exception,
+        FailureCause::Signal, FailureCause::Timeout,
+        FailureCause::NonzeroExit,
+    };
+    for (FailureCause c : all)
+        if (name == failureCauseName(c))
+            return c;
+    return FailureCause::Exception;
+}
 
 uint64_t
 jobSeed(uint64_t campaign_seed, size_t index)
@@ -68,24 +96,60 @@ executeJob(const JobSpec &spec, size_t index,
     jr.seed = spec.workloadSeed ? *spec.workloadSeed
                                 : jobSeed(opts.seed, index);
 
+    // Wall time accumulates across attempts (attemptSeconds keeps
+    // the per-attempt breakdown), so a job that fails twice before
+    // succeeding reports what it actually cost, not just the last
+    // attempt.
+    auto record_attempt = [&](double seconds) {
+        jr.attemptSeconds.push_back(seconds);
+        jr.wallSeconds += seconds;
+    };
+
     unsigned max_attempts = std::max(1u, opts.maxAttempts);
     for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
         jr.attempts = attempt;
+
+        if (opts.isolation) {
+            AttemptOutcome out = runIsolatedAttempt(
+                [&]() {
+                    return spec.body ? spec.body(spec, jr.seed)
+                                     : runSpec(spec, jr.seed);
+                },
+                opts.timeoutSeconds);
+            record_attempt(out.wallSeconds);
+            if (out.ok) {
+                jr.run = std::move(out.run);
+                jr.failed = false;
+                jr.error.clear();
+                jr.cause = FailureCause::None;
+                jr.exitStatus = 0;
+                return jr;
+            }
+            jr.failed = true;
+            jr.cause = out.cause;
+            jr.error = out.error;
+            jr.exitStatus = out.exitStatus;
+            continue;
+        }
+
         Clock::time_point start = Clock::now();
         try {
             jr.run = spec.body ? spec.body(spec, jr.seed)
                                : runSpec(spec, jr.seed);
-            jr.wallSeconds = secondsSince(start);
+            record_attempt(secondsSince(start));
             jr.failed = false;
             jr.error.clear();
+            jr.cause = FailureCause::None;
             return jr;
         } catch (const std::exception &e) {
-            jr.wallSeconds = secondsSince(start);
+            record_attempt(secondsSince(start));
             jr.failed = true;
+            jr.cause = FailureCause::Exception;
             jr.error = e.what();
         } catch (...) {
-            jr.wallSeconds = secondsSince(start);
+            record_attempt(secondsSince(start));
             jr.failed = true;
+            jr.cause = FailureCause::Exception;
             jr.error = "unknown exception";
         }
     }
@@ -113,9 +177,12 @@ runCampaign(const std::vector<JobSpec> &jobs,
     Clock::time_point campaign_start = Clock::now();
 
     // Lock-guarded work queue of job indices. Results land in
-    // pre-sized slots, so workers only contend on the queue itself
-    // and on the (serialized) progress callback.
-    std::mutex mtx;
+    // pre-sized per-job slots (each index is popped exactly once, so
+    // slot writes are unshared). The progress callback serializes on
+    // its own lock: a slow onJobDone hook must not stall every other
+    // worker's queue pop.
+    std::mutex queue_mtx;
+    std::mutex done_mtx;
     std::queue<size_t> pending;
     for (size_t i = 0; i < jobs.size(); ++i)
         pending.push(i);
@@ -124,18 +191,16 @@ runCampaign(const std::vector<JobSpec> &jobs,
         for (;;) {
             size_t index;
             {
-                std::lock_guard<std::mutex> lock(mtx);
+                std::lock_guard<std::mutex> lock(queue_mtx);
                 if (pending.empty())
                     return;
                 index = pending.front();
                 pending.pop();
             }
-            JobResult jr = executeJob(jobs[index], index, opts);
-            {
-                std::lock_guard<std::mutex> lock(mtx);
-                report.jobs[index] = std::move(jr);
-                if (opts.onJobDone)
-                    opts.onJobDone(report.jobs[index]);
+            report.jobs[index] = executeJob(jobs[index], index, opts);
+            if (opts.onJobDone) {
+                std::lock_guard<std::mutex> lock(done_mtx);
+                opts.onJobDone(report.jobs[index]);
             }
         }
     };

@@ -17,6 +17,14 @@
  * (with the exception message and attempt count) and the rest of
  * the campaign completes; an optional bounded retry re-runs a
  * throwing job with the same seed up to maxAttempts times.
+ *
+ * Process isolation (CampaignOptions::isolation): each attempt runs
+ * in a fork()ed child supervised by a per-attempt wall-clock
+ * watchdog, so a chex_panic()/chex_assert() abort, a stray SIGSEGV,
+ * or a stuck workload is captured as a failed job with a structured
+ * FailureCause instead of taking down (or hanging) the campaign
+ * process. See subprocess.hh; in-process execution remains the
+ * default and is bit-for-bit unaffected.
  */
 
 #ifndef CHEX_DRIVER_CAMPAIGN_HH
@@ -68,6 +76,22 @@ struct JobSpec
     std::function<RunResult(const JobSpec &, uint64_t seed)> body;
 };
 
+/** Why a job (or one attempt of it) failed. */
+enum class FailureCause : uint8_t
+{
+    None,        // job succeeded
+    Exception,   // body threw (in-process, or reported by the child)
+    Signal,      // child died on a signal (SIGABRT from panic, SIGSEGV)
+    Timeout,     // child exceeded the watchdog and was killed
+    NonzeroExit, // child exited non-zero without reporting a result
+};
+
+/** Printable cause token ("exception", "signal", ...). */
+const char *failureCauseName(FailureCause cause);
+
+/** Reverse of failureCauseName; unknown tokens map to Exception. */
+FailureCause failureCauseFromName(const std::string &name);
+
 /** Outcome of one job, failed or not. */
 struct JobResult
 {
@@ -80,10 +104,21 @@ struct JobResult
 
     bool failed = false;
     unsigned attempts = 0;   // 1 on first-try success
-    std::string error;       // exception message when failed
+    std::string error;       // failure detail when failed
 
-    double wallSeconds = 0.0; // of the last attempt
-    RunResult run;            // valid only when !failed
+    /** Structured failure classification (None when !failed). */
+    FailureCause cause = FailureCause::None;
+
+    /**
+     * Isolated mode: the child's exit code (cause NonzeroExit) or
+     * terminating/killing signal number (cause Signal / Timeout) of
+     * the final attempt. 0 otherwise.
+     */
+    int exitStatus = 0;
+
+    double wallSeconds = 0.0;          // summed over all attempts
+    std::vector<double> attemptSeconds; // per-attempt breakdown
+    RunResult run;                      // valid only when !failed
 };
 
 /** Campaign-wide execution knobs. */
@@ -99,8 +134,25 @@ struct CampaignOptions
     unsigned maxAttempts = 1;
 
     /**
-     * Progress hook, invoked as each job finishes. Serialized by the
-     * driver's lock (completion order, not submission order).
+     * Run every attempt in a fork()ed child process (crash/hang
+     * capture; see subprocess.hh). Off by default: in-process
+     * execution stays the deterministic fast path.
+     */
+    bool isolation = false;
+
+    /**
+     * Per-attempt wall-clock watchdog in seconds; a child still
+     * running at the deadline is SIGKILLed and the attempt recorded
+     * as FailureCause::Timeout. 0 disables the watchdog. Only
+     * meaningful with isolation (in-process bodies cannot be safely
+     * interrupted).
+     */
+    double timeoutSeconds = 0.0;
+
+    /**
+     * Progress hook, invoked as each job finishes. Serialized by a
+     * dedicated callback lock (completion order, not submission
+     * order) so a slow hook never stalls queue pops.
      */
     std::function<void(const JobResult &)> onJobDone;
 };

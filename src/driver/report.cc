@@ -1,5 +1,6 @@
 #include "report.hh"
 
+#include "base/logging.hh"
 #include "cap/capability.hh"
 
 namespace chex
@@ -73,6 +74,10 @@ toJson(const RunResult &r)
 json::Value
 toJson(const JobResult &jr)
 {
+    json::Value attempt_seconds = json::Value::array();
+    for (double s : jr.attemptSeconds)
+        attempt_seconds.push(s);
+
     json::Value job = json::Value::object()
                           .set("index", static_cast<uint64_t>(jr.index))
                           .set("label", jr.label)
@@ -82,11 +87,16 @@ toJson(const JobResult &jr)
                           .set("repetition", jr.repetition)
                           .set("status", jr.failed ? "failed" : "ok")
                           .set("attempts", jr.attempts)
-                          .set("wallSeconds", jr.wallSeconds);
-    if (jr.failed)
-        job.set("error", jr.error);
-    else
+                          .set("wallSeconds", jr.wallSeconds)
+                          .set("attemptSeconds",
+                               std::move(attempt_seconds));
+    if (jr.failed) {
+        job.set("error", jr.error)
+            .set("cause", failureCauseName(jr.cause))
+            .set("exitStatus", jr.exitStatus);
+    } else {
         job.set("result", toJson(jr.run));
+    }
     return job;
 }
 
@@ -98,7 +108,7 @@ toJson(const CampaignReport &report)
         jobs.push(toJson(jr));
 
     return json::Value::object()
-        .set("schema", "chex-campaign-report-v1")
+        .set("schema", "chex-campaign-report-v2")
         .set("seed", report.seed)
         .set("workers", report.workers)
         .set("summary",
@@ -120,6 +130,194 @@ writeReport(const CampaignReport &report, std::ostream &os)
 {
     toJson(report).write(os, 2);
     os << "\n";
+}
+
+namespace
+{
+
+bool
+failParse(std::string *err, const char *what)
+{
+    if (err)
+        *err = csprintf("report: %s", what);
+    return false;
+}
+
+Violation
+violationFromName(const std::string &name)
+{
+    static const Violation all[] = {
+        Violation::None,           Violation::OutOfBounds,
+        Violation::UseAfterFree,   Violation::DoubleFree,
+        Violation::InvalidFree,    Violation::PermissionDenied,
+        Violation::WildPointer,    Violation::OversizeAlloc,
+        Violation::UninitializedRead,
+    };
+    for (Violation v : all)
+        if (name == violationName(v))
+            return v;
+    return Violation::None;
+}
+
+} // namespace
+
+bool
+fromJson(const json::Value &v, ViolationRecord &out, std::string *err)
+{
+    if (!v.isObject())
+        return failParse(err, "violation record is not an object");
+    out.kind = violationFromName(json::getString(v, "kind", "none"));
+    out.pc = json::getUint(v, "pc", 0);
+    out.addr = json::getUint(v, "addr", 0);
+    out.pid = static_cast<Pid>(json::getUint(v, "pid", NoPid));
+    return true;
+}
+
+bool
+fromJson(const json::Value &v, RunResult &out, std::string *err)
+{
+    if (!v.isObject())
+        return failParse(err, "run result is not an object");
+    out = RunResult();
+    // Outcome
+    out.exited = json::getBool(v, "exited", false);
+    out.violationDetected = json::getBool(v, "violationDetected", false);
+    out.hijackedControlFlow =
+        json::getBool(v, "hijackedControlFlow", false);
+    out.hitMacroCap = json::getBool(v, "hitMacroCap", false);
+    if (const json::Value *violations = v.find("violations")) {
+        if (!violations->isArray())
+            return failParse(err, "'violations' is not an array");
+        for (const json::Value &rec : violations->items()) {
+            ViolationRecord vr;
+            if (!fromJson(rec, vr, err))
+                return false;
+            out.violations.push_back(vr);
+        }
+    }
+    // Timing
+    out.cycles = json::getUint(v, "cycles", 0);
+    out.macroOps = json::getUint(v, "macroOps", 0);
+    out.uops = json::getUint(v, "uops", 0);
+    out.ipc = json::getDouble(v, "ipc", 0.0);
+    out.seconds = json::getDouble(v, "seconds", 0.0);
+    out.squashCyclesBranch = json::getUint(v, "squashCyclesBranch", 0);
+    out.squashCyclesAlias = json::getUint(v, "squashCyclesAlias", 0);
+    out.squashFraction = json::getDouble(v, "squashFraction", 0.0);
+    out.branchMispredicts = json::getUint(v, "branchMispredicts", 0);
+    // Capability machinery
+    out.capChecksInjected = json::getUint(v, "capChecksInjected", 0);
+    out.zeroIdiomChecks = json::getUint(v, "zeroIdiomChecks", 0);
+    out.injectedUops = json::getUint(v, "injectedUops", 0);
+    out.capCacheMissRate = json::getDouble(v, "capCacheMissRate", 0.0);
+    out.capCacheAccesses = json::getUint(v, "capCacheAccesses", 0);
+    // Alias machinery
+    out.aliasCacheMissRate =
+        json::getDouble(v, "aliasCacheMissRate", 0.0);
+    out.aliasCacheAccesses = json::getUint(v, "aliasCacheAccesses", 0);
+    out.aliasPredAccuracy =
+        json::getDouble(v, "aliasPredAccuracy", 1.0);
+    out.reloadMispredictionRate =
+        json::getDouble(v, "reloadMispredictionRate", 0.0);
+    out.p0anFlushes = json::getUint(v, "p0anFlushes", 0);
+    out.pmanForwards = json::getUint(v, "pmanForwards", 0);
+    out.pna0ZeroIdioms = json::getUint(v, "pna0ZeroIdioms", 0);
+    out.pointerSpills = json::getUint(v, "pointerSpills", 0);
+    out.pointerReloads = json::getUint(v, "pointerReloads", 0);
+    out.loads = json::getUint(v, "loads", 0);
+    // Memory
+    out.dramBytes = json::getUint(v, "dramBytes", 0);
+    out.bandwidthMBps = json::getDouble(v, "bandwidthMBps", 0.0);
+    out.residentBytes = json::getUint(v, "residentBytes", 0);
+    out.shadowBytes = json::getUint(v, "shadowBytes", 0);
+    out.footprintBytes = json::getUint(v, "footprintBytes", 0);
+    // Heap behaviour
+    out.totalAllocations = json::getUint(v, "totalAllocations", 0);
+    out.maxLiveAllocations = json::getUint(v, "maxLiveAllocations", 0);
+    out.avgAllocationsInUse =
+        json::getDouble(v, "avgAllocationsInUse", 0.0);
+    return true;
+}
+
+bool
+fromJson(const json::Value &v, JobResult &out, std::string *err)
+{
+    if (!v.isObject())
+        return failParse(err, "job record is not an object");
+    out = JobResult();
+    out.index = static_cast<size_t>(json::getUint(v, "index", 0));
+    out.label = json::getString(v, "label", "");
+    out.profileName = json::getString(v, "profile", "");
+    out.variant = json::getString(v, "variant", "");
+    out.seed = json::getUint(v, "seed", 0);
+    out.repetition =
+        static_cast<unsigned>(json::getUint(v, "repetition", 0));
+    out.failed = json::getString(v, "status", "ok") == "failed";
+    out.attempts =
+        static_cast<unsigned>(json::getUint(v, "attempts", 1));
+    out.wallSeconds = json::getDouble(v, "wallSeconds", 0.0);
+    if (const json::Value *as = v.find("attemptSeconds")) {
+        if (!as->isArray())
+            return failParse(err, "'attemptSeconds' is not an array");
+        for (const json::Value &s : as->items())
+            out.attemptSeconds.push_back(
+                s.isNumber() ? s.number() : 0.0);
+    }
+    if (out.failed) {
+        out.error = json::getString(v, "error", "");
+        // v1 has no `cause`: an exception was the only failure it
+        // could record, so that is the backfill default.
+        out.cause = failureCauseFromName(
+            json::getString(v, "cause", "exception"));
+        out.exitStatus = static_cast<int>(
+            static_cast<int64_t>(json::getUint(v, "exitStatus", 0)));
+    } else if (const json::Value *res = v.find("result")) {
+        if (!fromJson(*res, out.run, err))
+            return false;
+    }
+    return true;
+}
+
+bool
+fromJson(const json::Value &v, CampaignReport &out, std::string *err)
+{
+    if (!v.isObject())
+        return failParse(err, "report is not an object");
+    std::string schema = json::getString(v, "schema", "");
+    if (schema != "chex-campaign-report-v1" &&
+        schema != "chex-campaign-report-v2") {
+        return failParse(err, schema.empty()
+                                  ? "missing schema tag"
+                                  : "unknown schema tag");
+    }
+    out = CampaignReport();
+    out.seed = json::getUint(v, "seed", 0);
+    out.workers =
+        static_cast<unsigned>(json::getUint(v, "workers", 0));
+    if (const json::Value *summary = v.find("summary")) {
+        out.jobsRun = static_cast<size_t>(
+            json::getUint(*summary, "jobsRun", 0));
+        out.jobsFailed = static_cast<size_t>(
+            json::getUint(*summary, "jobsFailed", 0));
+        out.wallSeconds = json::getDouble(*summary, "wallSeconds", 0.0);
+        out.serialSeconds =
+            json::getDouble(*summary, "serialSeconds", 0.0);
+        out.speedup = json::getDouble(*summary, "speedupVsSerial", 0.0);
+        out.totalCycles = json::getUint(*summary, "totalCycles", 0);
+        out.totalUops = json::getUint(*summary, "totalUops", 0);
+        out.aggregateIpc =
+            json::getDouble(*summary, "aggregateIpc", 0.0);
+    }
+    const json::Value *jobs = v.find("jobs");
+    if (!jobs || !jobs->isArray())
+        return failParse(err, "'jobs' is missing or not an array");
+    for (const json::Value &job : jobs->items()) {
+        JobResult jr;
+        if (!fromJson(job, jr, err))
+            return false;
+        out.jobs.push_back(std::move(jr));
+    }
+    return true;
 }
 
 } // namespace driver

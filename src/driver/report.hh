@@ -1,9 +1,12 @@
 /**
  * @file
  * Campaign-report serialization: RunResult, JobResult, and
- * CampaignReport → JSON (schema "chex-campaign-report-v1", described
- * in DESIGN.md). The RunResult serializer is also what single runs
- * use to emit structured stats next to System::dumpStatsJson.
+ * CampaignReport → JSON (schema "chex-campaign-report-v2", described
+ * in DESIGN.md §8) and back. The RunResult serializer is also what
+ * single runs use to emit structured stats next to
+ * System::dumpStatsJson, and the fromJson direction is how
+ * fork-isolated workers stream results to the campaign parent and
+ * how report consumers (diff/merge tools) load v1 and v2 files.
  */
 
 #ifndef CHEX_DRIVER_REPORT_HH
@@ -33,6 +36,27 @@ json::Value toJson(const CampaignReport &report);
 
 /** Pretty-print the campaign report JSON to @p os (with newline). */
 void writeReport(const CampaignReport &report, std::ostream &os);
+
+/**
+ * @{ @name JSON → struct (the parse direction)
+ *
+ * Rebuild the structs from parsed report documents. Unknown members
+ * are ignored and absent members keep their struct defaults, so
+ * schema-v1 files (no `cause`/`exitStatus`/`attemptSeconds`) load
+ * cleanly: a failed v1 job maps to FailureCause::Exception, the only
+ * failure v1 could record. Returns false and fills @p err (if
+ * non-null) when @p v is structurally wrong (not an object, bad
+ * schema tag, jobs not an array, ...).
+ */
+bool fromJson(const json::Value &v, RunResult &out,
+              std::string *err = nullptr);
+bool fromJson(const json::Value &v, ViolationRecord &out,
+              std::string *err = nullptr);
+bool fromJson(const json::Value &v, JobResult &out,
+              std::string *err = nullptr);
+bool fromJson(const json::Value &v, CampaignReport &out,
+              std::string *err = nullptr);
+/** @} */
 
 } // namespace driver
 } // namespace chex

@@ -2,25 +2,36 @@
  * @file
  * Campaign-driver tests: scheduling-independent determinism (an
  * N-thread campaign reproduces the 1-thread campaign bit for bit),
- * per-job failure isolation and bounded retry, seed derivation, the
- * JSON value type (writer + parser round trip), and the campaign
- * report / single-run stats serialization.
+ * per-job failure isolation and bounded retry, fork-isolated workers
+ * (panic/SIGKILL/timeout capture, cross-process result streaming),
+ * seed derivation, the JSON value type (writer + parser round trip),
+ * the campaign report / single-run stats serialization in both
+ * directions (v1 and v2 parse), and the bench env-knob validation.
  */
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "base/json.hh"
+#include "base/logging.hh"
 #include "driver/campaign.hh"
 #include "driver/report.hh"
 #include "sim/system.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
+
+#include "../bench/common.hh"
 
 namespace chex
 {
@@ -171,6 +182,43 @@ TEST(Campaign, BoundedRetryRecovers)
     EXPECT_EQ(r.jobs[0].attempts, 1u);
 }
 
+TEST(Campaign, WallSecondsAccumulateAcrossAttempts)
+{
+    auto failures = std::make_shared<std::atomic<int>>(2);
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs.resize(2);
+    jobs[1].body = [failures](const driver::JobSpec &spec,
+                              uint64_t seed) -> RunResult {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        if (failures->fetch_sub(1) > 0)
+            throw std::runtime_error("transient");
+        System sys(spec.config);
+        sys.load(generateWorkload(spec.profile, seed));
+        return sys.run();
+    };
+
+    driver::CampaignOptions opts;
+    opts.workers = 1;
+    opts.maxAttempts = 3;
+    driver::CampaignReport r = driver::runCampaign(jobs, opts);
+
+    ASSERT_FALSE(r.jobs[1].failed);
+    EXPECT_EQ(r.jobs[1].attempts, 3u);
+    ASSERT_EQ(r.jobs[1].attemptSeconds.size(), 3u);
+    // The reported wall time is the whole cost of the job — the sum
+    // of every attempt, not just the final (successful) one.
+    double sum = 0.0;
+    for (double s : r.jobs[1].attemptSeconds) {
+        EXPECT_GE(s, 0.01);
+        sum += s;
+    }
+    EXPECT_DOUBLE_EQ(r.jobs[1].wallSeconds, sum);
+    EXPECT_GE(r.jobs[1].wallSeconds, 0.03);
+    ASSERT_EQ(r.jobs[0].attemptSeconds.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.jobs[0].wallSeconds,
+                     r.jobs[0].attemptSeconds[0]);
+}
+
 TEST(Campaign, SummaryAggregates)
 {
     driver::CampaignReport r =
@@ -182,6 +230,189 @@ TEST(Campaign, SummaryAggregates)
     EXPECT_GT(r.aggregateIpc, 0.0);
     EXPECT_GT(r.wallSeconds, 0.0);
     EXPECT_GE(r.serialSeconds, 0.0);
+}
+
+TEST(Isolation, PanicIsCapturedAsSignalWhileSiblingsComplete)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs[2].body = [](const driver::JobSpec &,
+                      uint64_t) -> RunResult {
+        chex_panic("deliberate test panic"); // aborts the child
+    };
+
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.isolation = true;
+    driver::CampaignReport r = driver::runCampaign(jobs, opts);
+
+    EXPECT_EQ(r.jobsRun, jobs.size());
+    EXPECT_EQ(r.jobsFailed, 1u);
+    ASSERT_TRUE(r.jobs[2].failed);
+    EXPECT_EQ(r.jobs[2].cause, driver::FailureCause::Signal);
+    EXPECT_EQ(r.jobs[2].exitStatus, SIGABRT);
+    EXPECT_NE(r.jobs[2].error.find("signal"), std::string::npos)
+        << r.jobs[2].error;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (i == 2)
+            continue;
+        EXPECT_FALSE(r.jobs[i].failed) << i;
+        EXPECT_TRUE(r.jobs[i].run.exited) << i;
+    }
+}
+
+TEST(Isolation, WatchdogKillsStuckJobAndRetries)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs.resize(3);
+    jobs[0].body = [](const driver::JobSpec &,
+                      uint64_t) -> RunResult {
+        for (;;) // never hits any cap; only the watchdog ends this
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+    };
+
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.isolation = true;
+    opts.timeoutSeconds = 0.2;
+    opts.maxAttempts = 2; // timeouts participate in bounded retry
+    driver::CampaignReport r = driver::runCampaign(jobs, opts);
+
+    ASSERT_TRUE(r.jobs[0].failed);
+    EXPECT_EQ(r.jobs[0].cause, driver::FailureCause::Timeout);
+    EXPECT_EQ(r.jobs[0].exitStatus, SIGKILL);
+    EXPECT_EQ(r.jobs[0].attempts, 2u);
+    ASSERT_EQ(r.jobs[0].attemptSeconds.size(), 2u);
+    for (double s : r.jobs[0].attemptSeconds)
+        EXPECT_GE(s, 0.2);
+    EXPECT_FALSE(r.jobs[1].failed);
+    EXPECT_FALSE(r.jobs[2].failed);
+}
+
+TEST(Isolation, PanicAndHangInOneCampaignMatchInProcessElsewhere)
+{
+    // The acceptance scenario: one campaign holding a panicking job
+    // AND a never-terminating job completes under isolation, marks
+    // exactly those two failed with causes signal and timeout, and
+    // every other job is bit-identical to an in-process run of the
+    // same campaign seed.
+    std::vector<driver::JobSpec> jobs = eightJobs();
+
+    driver::CampaignOptions in_process;
+    in_process.workers = 1;
+    in_process.seed = 21;
+    driver::CampaignReport ref = driver::runCampaign(jobs, in_process);
+    ASSERT_EQ(ref.jobsFailed, 0u);
+
+    jobs[1].body = [](const driver::JobSpec &,
+                      uint64_t) -> RunResult {
+        chex_panic("deliberate test panic");
+    };
+    jobs[5].body = [](const driver::JobSpec &,
+                      uint64_t) -> RunResult {
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+    };
+
+    driver::CampaignOptions isolated;
+    isolated.workers = 3;
+    isolated.seed = 21;
+    isolated.isolation = true;
+    isolated.timeoutSeconds = 0.3;
+    driver::CampaignReport r = driver::runCampaign(jobs, isolated);
+
+    EXPECT_EQ(r.jobsRun, jobs.size());
+    EXPECT_EQ(r.jobsFailed, 2u);
+    ASSERT_TRUE(r.jobs[1].failed);
+    EXPECT_EQ(r.jobs[1].cause, driver::FailureCause::Signal);
+    ASSERT_TRUE(r.jobs[5].failed);
+    EXPECT_EQ(r.jobs[5].cause, driver::FailureCause::Timeout);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (i == 1 || i == 5)
+            continue;
+        SCOPED_TRACE(ref.jobs[i].label);
+        EXPECT_FALSE(r.jobs[i].failed);
+        EXPECT_EQ(r.jobs[i].seed, ref.jobs[i].seed);
+        EXPECT_EQ(r.jobs[i].run.cycles, ref.jobs[i].run.cycles);
+        EXPECT_EQ(r.jobs[i].run.uops, ref.jobs[i].run.uops);
+        EXPECT_EQ(r.jobs[i].run.macroOps, ref.jobs[i].run.macroOps);
+        EXPECT_DOUBLE_EQ(r.jobs[i].run.ipc, ref.jobs[i].run.ipc);
+    }
+}
+
+TEST(Isolation, ExceptionCrossesTheProcessBoundary)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs.resize(2);
+    jobs[1].body = [](const driver::JobSpec &,
+                      uint64_t) -> RunResult {
+        throw std::runtime_error("thrown in the child");
+    };
+
+    driver::CampaignOptions opts;
+    opts.workers = 1;
+    opts.isolation = true;
+    driver::CampaignReport r = driver::runCampaign(jobs, opts);
+
+    ASSERT_TRUE(r.jobs[1].failed);
+    EXPECT_EQ(r.jobs[1].cause, driver::FailureCause::Exception);
+    EXPECT_EQ(r.jobs[1].error, "thrown in the child");
+    EXPECT_EQ(r.jobs[1].exitStatus, 0);
+    EXPECT_FALSE(r.jobs[0].failed);
+}
+
+TEST(Isolation, NonzeroExitIsCaptured)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs.resize(2);
+    jobs[0].body = [](const driver::JobSpec &,
+                      uint64_t) -> RunResult {
+        ::_exit(7); // child vanishes without reporting a result
+    };
+
+    driver::CampaignOptions opts;
+    opts.workers = 1;
+    opts.isolation = true;
+    driver::CampaignReport r = driver::runCampaign(jobs, opts);
+
+    ASSERT_TRUE(r.jobs[0].failed);
+    EXPECT_EQ(r.jobs[0].cause, driver::FailureCause::NonzeroExit);
+    EXPECT_EQ(r.jobs[0].exitStatus, 7);
+    EXPECT_FALSE(r.jobs[1].failed);
+}
+
+TEST(Isolation, MatchesInProcessBitForBit)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+
+    driver::CampaignOptions in_process;
+    in_process.workers = 1;
+    in_process.seed = 7;
+    driver::CampaignReport a = driver::runCampaign(jobs, in_process);
+
+    driver::CampaignOptions isolated;
+    isolated.workers = 3;
+    isolated.seed = 7;
+    isolated.isolation = true;
+    isolated.timeoutSeconds = 120.0;
+    driver::CampaignReport b = driver::runCampaign(jobs, isolated);
+
+    EXPECT_EQ(a.jobsFailed, 0u);
+    EXPECT_EQ(b.jobsFailed, 0u);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(a.jobs[i].label);
+        EXPECT_EQ(a.jobs[i].seed, b.jobs[i].seed);
+        EXPECT_EQ(a.jobs[i].run.cycles, b.jobs[i].run.cycles);
+        EXPECT_EQ(a.jobs[i].run.macroOps, b.jobs[i].run.macroOps);
+        EXPECT_EQ(a.jobs[i].run.uops, b.jobs[i].run.uops);
+        EXPECT_DOUBLE_EQ(a.jobs[i].run.ipc, b.jobs[i].run.ipc);
+        EXPECT_EQ(a.jobs[i].run.capChecksInjected,
+                  b.jobs[i].run.capChecksInjected);
+        EXPECT_EQ(a.jobs[i].run.violations.size(),
+                  b.jobs[i].run.violations.size());
+        EXPECT_EQ(a.jobs[i].run.dramBytes, b.jobs[i].run.dramBytes);
+        EXPECT_DOUBLE_EQ(a.jobs[i].run.capCacheMissRate,
+                         b.jobs[i].run.capCacheMissRate);
+    }
 }
 
 TEST(Json, WriteParseRoundTrip)
@@ -227,6 +458,52 @@ TEST(Json, Uint64RoundTripsExactly)
     EXPECT_EQ(back.at("seed").asUint64(), big);
 }
 
+TEST(Json, IntConstructionIsExact)
+{
+    // int-constructed non-negative numbers carry the exact-uint flag
+    // just like uint64_t-constructed ones, so asUint64() never
+    // detours through the double approximation.
+    EXPECT_EQ(json::Value(42).dump(), "42");
+    EXPECT_EQ(json::Value(42).asUint64(), 42u);
+    EXPECT_EQ(json::Value(0).asUint64(), 0u);
+    EXPECT_EQ(json::Value(int64_t(99)).asUint64(), 99u);
+    EXPECT_EQ(json::Value(-3).dump(), "-3");
+    EXPECT_EQ(json::Value(-3).number(), -3.0);
+}
+
+TEST(Json, Uint64MaxRoundTrips)
+{
+    const uint64_t max = UINT64_MAX;
+    json::Value v = json::Value::object().set("m", max);
+    std::string text = v.dump();
+    EXPECT_NE(text.find("18446744073709551615"), std::string::npos)
+        << text;
+
+    json::Value back;
+    ASSERT_TRUE(json::Value::parse(text, back, nullptr));
+    EXPECT_EQ(back.at("m").asUint64(), max);
+    // And the canonical re-dump keeps the exact digits.
+    EXPECT_EQ(back.dump(), text);
+}
+
+TEST(Json, ObjectGetterHelpersApplyDefaults)
+{
+    json::Value v;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(
+        "{\"b\": true, \"u\": 9, \"d\": 1.5, \"s\": \"x\"}", v, &err))
+        << err;
+    EXPECT_TRUE(json::getBool(v, "b", false));
+    EXPECT_EQ(json::getUint(v, "u", 0), 9u);
+    EXPECT_EQ(json::getDouble(v, "d", 0.0), 1.5);
+    EXPECT_EQ(json::getString(v, "s", ""), "x");
+    // Absent or wrong-kind members fall back to the default.
+    EXPECT_TRUE(json::getBool(v, "missing", true));
+    EXPECT_EQ(json::getUint(v, "s", 5), 5u);
+    EXPECT_EQ(json::getString(v, "u", "dflt"), "dflt");
+    EXPECT_EQ(json::getUint(json::Value(3.0), "u", 2), 2u);
+}
+
 TEST(Json, ParserRejectsMalformed)
 {
     json::Value out;
@@ -257,7 +534,7 @@ TEST(Report, CampaignJsonRoundTrips)
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
 
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v1");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v2");
     EXPECT_EQ(doc.at("seed").number(), 11.0);
     const json::Value &summary = doc.at("summary");
     EXPECT_EQ(summary.at("jobsRun").number(), 8.0);
@@ -283,6 +560,164 @@ TEST(Report, CampaignJsonRoundTrips)
             EXPECT_TRUE(res.at("violations").isArray());
         }
     }
+}
+
+TEST(Report, V2RoundTripsThroughFromJson)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs.resize(4);
+    jobs[2].body = [](const driver::JobSpec &,
+                      uint64_t) -> RunResult {
+        throw std::runtime_error("boom");
+    };
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = 13;
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+
+    std::ostringstream ss;
+    driver::writeReport(report, ss);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v2");
+
+    driver::CampaignReport back;
+    ASSERT_TRUE(driver::fromJson(doc, back, &err)) << err;
+    EXPECT_EQ(back.seed, report.seed);
+    EXPECT_EQ(back.workers, report.workers);
+    EXPECT_EQ(back.jobsRun, report.jobsRun);
+    EXPECT_EQ(back.jobsFailed, 1u);
+    EXPECT_EQ(back.totalCycles, report.totalCycles);
+    EXPECT_EQ(back.totalUops, report.totalUops);
+    ASSERT_EQ(back.jobs.size(), report.jobs.size());
+    for (size_t i = 0; i < back.jobs.size(); ++i) {
+        SCOPED_TRACE(report.jobs[i].label);
+        EXPECT_EQ(back.jobs[i].label, report.jobs[i].label);
+        EXPECT_EQ(back.jobs[i].seed, report.jobs[i].seed);
+        EXPECT_EQ(back.jobs[i].failed, report.jobs[i].failed);
+        EXPECT_EQ(back.jobs[i].cause, report.jobs[i].cause);
+        EXPECT_EQ(back.jobs[i].attempts, report.jobs[i].attempts);
+        EXPECT_EQ(back.jobs[i].attemptSeconds.size(),
+                  report.jobs[i].attemptSeconds.size());
+        if (report.jobs[i].failed) {
+            EXPECT_EQ(back.jobs[i].error, report.jobs[i].error);
+        } else {
+            EXPECT_EQ(back.jobs[i].run.cycles,
+                      report.jobs[i].run.cycles);
+            EXPECT_EQ(back.jobs[i].run.uops, report.jobs[i].run.uops);
+            EXPECT_DOUBLE_EQ(back.jobs[i].run.ipc,
+                             report.jobs[i].run.ipc);
+            EXPECT_EQ(back.jobs[i].run.exited,
+                      report.jobs[i].run.exited);
+        }
+    }
+}
+
+TEST(Report, V1StillParses)
+{
+    // A hand-written schema-v1 document: no cause/exitStatus/
+    // attemptSeconds members anywhere.
+    const char *v1 = R"({
+      "schema": "chex-campaign-report-v1",
+      "seed": 7,
+      "workers": 2,
+      "summary": {
+        "jobsRun": 2, "jobsFailed": 1,
+        "wallSeconds": 1.5, "serialSeconds": 2.0,
+        "speedupVsSerial": 1.33,
+        "totalCycles": 100, "totalUops": 150, "aggregateIpc": 1.5
+      },
+      "jobs": [
+        {"index": 0, "label": "mcf/baseline", "profile": "mcf",
+         "variant": "baseline", "seed": 9, "repetition": 0,
+         "status": "ok", "attempts": 1, "wallSeconds": 1.0,
+         "result": {"exited": true, "cycles": 100, "uops": 150,
+                    "ipc": 1.5}},
+        {"index": 1, "label": "lbm/baseline", "profile": "lbm",
+         "variant": "baseline", "seed": 10, "repetition": 0,
+         "status": "failed", "attempts": 2, "wallSeconds": 0.5,
+         "error": "boom"}
+      ]
+    })";
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(v1, doc, &err)) << err;
+
+    driver::CampaignReport report;
+    ASSERT_TRUE(driver::fromJson(doc, report, &err)) << err;
+    EXPECT_EQ(report.seed, 7u);
+    EXPECT_EQ(report.workers, 2u);
+    EXPECT_EQ(report.jobsRun, 2u);
+    EXPECT_EQ(report.jobsFailed, 1u);
+    ASSERT_EQ(report.jobs.size(), 2u);
+
+    EXPECT_FALSE(report.jobs[0].failed);
+    EXPECT_EQ(report.jobs[0].label, "mcf/baseline");
+    EXPECT_EQ(report.jobs[0].run.cycles, 100u);
+    EXPECT_TRUE(report.jobs[0].run.exited);
+    EXPECT_TRUE(report.jobs[0].attemptSeconds.empty());
+
+    EXPECT_TRUE(report.jobs[1].failed);
+    EXPECT_EQ(report.jobs[1].error, "boom");
+    // v1 could only record exceptions, so that is the backfill.
+    EXPECT_EQ(report.jobs[1].cause, driver::FailureCause::Exception);
+    EXPECT_EQ(report.jobs[1].exitStatus, 0);
+}
+
+TEST(Report, FromJsonRejectsUnknownSchema)
+{
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(
+        R"({"schema": "chex-campaign-report-v9", "jobs": []})", doc,
+        nullptr));
+    driver::CampaignReport report;
+    std::string err;
+    EXPECT_FALSE(driver::fromJson(doc, report, &err));
+    EXPECT_NE(err.find("schema"), std::string::npos) << err;
+}
+
+TEST(BenchEnv, KnobParsingValidatesAndClamps)
+{
+    setenv("CHEX_BENCH_SCALE", "garbage", 1);
+    EXPECT_EQ(bench::scale(), 1u);
+    setenv("CHEX_BENCH_SCALE", "0", 1);
+    EXPECT_EQ(bench::scale(), 1u);
+    setenv("CHEX_BENCH_SCALE", "-5", 1);
+    EXPECT_EQ(bench::scale(), 1u);
+    setenv("CHEX_BENCH_SCALE", "7x", 1);
+    EXPECT_EQ(bench::scale(), 1u);
+    setenv("CHEX_BENCH_SCALE", "12", 1);
+    EXPECT_EQ(bench::scale(), 12u);
+    unsetenv("CHEX_BENCH_SCALE");
+    EXPECT_EQ(bench::scale(), 1u);
+
+    setenv("CHEX_BENCH_JOBS", "-2", 1);
+    EXPECT_GE(bench::benchJobs(), 1u);
+    setenv("CHEX_BENCH_JOBS", "0", 1);
+    EXPECT_GE(bench::benchJobs(), 1u);
+    setenv("CHEX_BENCH_JOBS", "3", 1);
+    EXPECT_EQ(bench::benchJobs(), 3u);
+    unsetenv("CHEX_BENCH_JOBS");
+    EXPECT_GE(bench::benchJobs(), 1u);
+
+    setenv("CHEX_BENCH_TIMEOUT", "abc", 1);
+    EXPECT_EQ(bench::benchTimeout(), 0.0);
+    setenv("CHEX_BENCH_TIMEOUT", "-1", 1);
+    EXPECT_EQ(bench::benchTimeout(), 0.0);
+    setenv("CHEX_BENCH_TIMEOUT", "2.5", 1);
+    EXPECT_EQ(bench::benchTimeout(), 2.5);
+    unsetenv("CHEX_BENCH_TIMEOUT");
+    EXPECT_EQ(bench::benchTimeout(), 0.0);
+
+    setenv("CHEX_BENCH_ISOLATE", "1", 1);
+    EXPECT_TRUE(bench::benchIsolate());
+    setenv("CHEX_BENCH_ISOLATE", "0", 1);
+    EXPECT_FALSE(bench::benchIsolate());
+    unsetenv("CHEX_BENCH_ISOLATE");
+    EXPECT_FALSE(bench::benchIsolate());
 }
 
 TEST(Report, ViolationRecordsSerialized)

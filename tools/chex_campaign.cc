@@ -76,6 +76,13 @@ usage(const char *argv0)
         "                   (default: $CHEX_BENCH_SCALE or 1)\n"
         "  --retries N      attempts per job before it is recorded\n"
         "                   as failed (default: 1)\n"
+        "  --isolate        fork each job into its own child process\n"
+        "                   so a simulator panic/crash is recorded as\n"
+        "                   a failed job (cause: signal) instead of\n"
+        "                   killing the campaign\n"
+        "  --timeout SECS   per-attempt wall-clock watchdog; a stuck\n"
+        "                   child is killed and recorded as failed\n"
+        "                   (cause: timeout). Implies --isolate\n"
         "  --out FILE       write the JSON report to FILE\n"
         "  --quiet          suppress per-job progress lines\n"
         "  --list           list profiles and variant tokens, exit\n",
@@ -108,12 +115,22 @@ main(int argc, char **argv)
     unsigned reps = 1;
     uint64_t scale = 1;
     unsigned retries = 1;
+    bool isolate = false;
+    double timeout = 0.0;
     bool quiet = false;
 
     if (const char *s = std::getenv("CHEX_BENCH_SCALE")) {
         uint64_t v = std::strtoull(s, nullptr, 10);
         if (v > 0)
             scale = v;
+    }
+    // The bench harness env knobs double as CLI defaults.
+    if (const char *s = std::getenv("CHEX_BENCH_ISOLATE"))
+        isolate = *s && std::strcmp(s, "0") != 0;
+    if (const char *s = std::getenv("CHEX_BENCH_TIMEOUT")) {
+        double v = std::strtod(s, nullptr);
+        if (v > 0.0)
+            timeout = v;
     }
 
     for (int i = 1; i < argc; ++i) {
@@ -140,6 +157,19 @@ main(int argc, char **argv)
             scale = std::strtoull(next("--scale"), nullptr, 10);
         } else if (arg == "--retries") {
             retries = std::strtoul(next("--retries"), nullptr, 10);
+        } else if (arg == "--isolate") {
+            isolate = true;
+        } else if (arg == "--timeout") {
+            const char *val = next("--timeout");
+            char *end = nullptr;
+            timeout = std::strtod(val, &end);
+            if (!end || *end != '\0' || !(timeout >= 0.0)) {
+                std::fprintf(stderr,
+                             "%s: --timeout needs a non-negative "
+                             "number of seconds, got '%s'\n",
+                             argv[0], val);
+                return 2;
+            }
         } else if (arg == "--out") {
             out_path = next("--out");
         } else if (arg == "--quiet") {
@@ -161,6 +191,13 @@ main(int argc, char **argv)
         reps = 1;
     if (scale == 0)
         scale = 1;
+    if (timeout > 0.0 && !isolate) {
+        std::fprintf(stderr,
+                     "%s: --timeout requires process isolation; "
+                     "enabling --isolate\n",
+                     argv[0]);
+        isolate = true;
+    }
 
     // Resolve profiles.
     std::vector<BenchmarkProfile> profiles;
@@ -237,13 +274,16 @@ main(int argc, char **argv)
     opts.workers = jobs;
     opts.seed = seed;
     opts.maxAttempts = retries;
+    opts.isolation = isolate;
+    opts.timeoutSeconds = timeout;
     size_t done = 0;
     if (!quiet) {
         opts.onJobDone = [&](const driver::JobResult &jr) {
             ++done;
             if (jr.failed) {
-                std::printf("[%3zu/%zu] %-40s FAILED (%s)\n", done,
-                            specs.size(), jr.label.c_str(),
+                std::printf("[%3zu/%zu] %-40s FAILED [%s] (%s)\n",
+                            done, specs.size(), jr.label.c_str(),
+                            driver::failureCauseName(jr.cause),
                             jr.error.c_str());
             } else {
                 std::printf("[%3zu/%zu] %-40s %10lu cycles  ipc %.2f"
