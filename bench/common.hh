@@ -1,9 +1,14 @@
 /**
  * @file
  * Shared helpers for the figure/table regeneration harnesses: run a
- * benchmark profile under a variant and collect the RunResult, with
- * a process-wide scale knob (CHEX_BENCH_SCALE divides iteration
- * counts for quick smoke runs).
+ * benchmark profile under a variant and collect the RunResult, or
+ * fan a (profile × variant/config) sweep out on the campaign
+ * driver's worker pool. Process-wide env knobs: CHEX_BENCH_SCALE
+ * divides iteration counts for quick smoke runs, CHEX_BENCH_JOBS
+ * caps the pool width, CHEX_BENCH_ISOLATE/CHEX_BENCH_TIMEOUT fork
+ * and watchdog each job, and CHEX_BENCH_CACHE points at previous
+ * campaign reports whose matching successful jobs are reused
+ * instead of re-simulated.
  */
 
 #ifndef CHEX_BENCH_COMMON_HH
@@ -14,11 +19,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "base/json.hh"
 #include "driver/campaign.hh"
+#include "driver/report.hh"
 #include "sim/system.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
@@ -132,12 +142,99 @@ benchTimeout()
 }
 
 /**
+ * Result-cache reports from $CHEX_BENCH_CACHE (colon-separated
+ * report paths). Unlike the CLI — where an unreadable --cache file
+ * is a hard error — a bad path here warns and is skipped, so a
+ * stale environment variable cannot block figure regeneration.
+ */
+inline std::vector<driver::CampaignReport>
+benchCacheReports()
+{
+    std::vector<driver::CampaignReport> reports;
+    const char *s = std::getenv("CHEX_BENCH_CACHE");
+    if (!s || !*s)
+        return reports;
+    std::stringstream paths(s);
+    std::string path;
+    while (std::getline(paths, path, ':')) {
+        if (path.empty())
+            continue;
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr,
+                         "bench: CHEX_BENCH_CACHE: cannot read "
+                         "'%s'; skipping\n",
+                         path.c_str());
+            continue;
+        }
+        std::stringstream body;
+        body << in.rdbuf();
+        json::Value doc;
+        std::string err;
+        driver::CampaignReport rep;
+        if (!json::Value::parse(body.str(), doc, &err) ||
+            !driver::fromJson(doc, rep, &err)) {
+            std::fprintf(stderr,
+                         "bench: CHEX_BENCH_CACHE: '%s' is not a "
+                         "campaign report (%s); skipping\n",
+                         path.c_str(), err.c_str());
+            continue;
+        }
+        reports.push_back(std::move(rep));
+    }
+    return reports;
+}
+
+/**
+ * Run a prepared job list on the campaign driver with the shared
+ * bench env knobs (CHEX_BENCH_JOBS/ISOLATE/TIMEOUT/CACHE) applied,
+ * and return the per-job results in submission order. Every failed
+ * cell is reported before exiting — a sweep that dies on the first
+ * failure hides every other broken cell, which matters when a config
+ * change breaks a whole variant column at once.
+ */
+inline std::vector<RunResult>
+runCampaignJobs(std::vector<driver::JobSpec> jobs, uint64_t seed)
+{
+    driver::CampaignOptions opts;
+    opts.workers = benchJobs();
+    opts.seed = seed;
+    opts.isolation = benchIsolate();
+    opts.timeoutSeconds = benchTimeout();
+    opts.cacheReports = benchCacheReports();
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+
+    std::vector<RunResult> results;
+    results.reserve(report.jobs.size());
+    size_t bad = 0;
+    for (const driver::JobResult &jr : report.jobs) {
+        if (jr.failed || !jr.run.exited) {
+            std::fprintf(stderr,
+                         "bench: %s did not complete cleanly%s%s\n",
+                         jr.label.c_str(),
+                         jr.failed ? ": " : " (violation)",
+                         jr.failed ? jr.error.c_str() : "");
+            ++bad;
+        }
+        results.push_back(jr.run);
+    }
+    if (bad) {
+        std::fprintf(stderr, "bench: %zu of %zu sweep cells failed\n",
+                     bad, report.jobs.size());
+        std::exit(1);
+    }
+    return results;
+}
+
+/**
  * Run the (profile × variant) sweep on the campaign driver's worker
  * pool. Applies the same CHEX_BENCH_SCALE iteration scaling and the
  * same fixed workload seed as runProfile/runVariant, so the results
  * are identical to the serial helpers — just produced in parallel.
  * CHEX_BENCH_ISOLATE=1 forks each job into its own child (crash
- * capture) and CHEX_BENCH_TIMEOUT bounds each attempt's wall clock.
+ * capture), CHEX_BENCH_TIMEOUT bounds each attempt's wall clock,
+ * and CHEX_BENCH_CACHE satisfies already-simulated cells from prior
+ * reports.
  *
  * Returns results in row-major order:
  * `results[pi * variants.size() + vi]`.
@@ -151,41 +248,67 @@ runMatrix(const std::vector<BenchmarkProfile> &profiles,
     for (const BenchmarkProfile &p : profiles)
         scaled.push_back(p.scaledBy(scale()));
 
-    std::vector<driver::JobSpec> jobs =
-        driver::buildMatrix(scaled, variants, seed);
-    driver::CampaignOptions opts;
-    opts.workers = benchJobs();
-    opts.seed = seed;
-    opts.isolation = benchIsolate();
-    opts.timeoutSeconds = benchTimeout();
-    driver::CampaignReport report = driver::runCampaign(jobs, opts);
-
-    std::vector<RunResult> results;
-    results.reserve(report.jobs.size());
-    for (const driver::JobResult &jr : report.jobs) {
-        if (jr.failed || !jr.run.exited) {
-            std::fprintf(stderr,
-                         "bench: %s did not complete cleanly%s%s\n",
-                         jr.label.c_str(),
-                         jr.failed ? ": " : " (violation)",
-                         jr.failed ? jr.error.c_str() : "");
-            std::exit(1);
-        }
-        results.push_back(jr.run);
-    }
-    return results;
+    return runCampaignJobs(driver::buildMatrix(scaled, variants, seed),
+                           seed);
 }
 
-/** Geometric mean helper for summary rows. */
+/** A named full-SystemConfig column for config sweeps. */
+struct ConfigPoint
+{
+    std::string name;
+    SystemConfig config;
+};
+
+/**
+ * Config-sweep variant of runMatrix for harnesses whose columns
+ * differ by more than the enforcement variant (cache sizes,
+ * predictor entries, ... — fig07/fig08). Same scaling, seeding, env
+ * knobs, and row-major order: `results[pi * configs.size() + ci]`.
+ */
+inline std::vector<RunResult>
+runMatrix(const std::vector<BenchmarkProfile> &profiles,
+          const std::vector<ConfigPoint> &configs, uint64_t seed = 1)
+{
+    std::vector<driver::JobSpec> jobs;
+    jobs.reserve(profiles.size() * configs.size());
+    for (const BenchmarkProfile &p : profiles) {
+        BenchmarkProfile scaled = p.scaledBy(scale());
+        for (const ConfigPoint &c : configs) {
+            driver::JobSpec spec;
+            spec.label = p.name + "/" + c.name;
+            spec.profile = scaled;
+            spec.config = c.config;
+            spec.workloadSeed = seed;
+            jobs.push_back(std::move(spec));
+        }
+    }
+    return runCampaignJobs(std::move(jobs), seed);
+}
+
+/**
+ * Geometric mean helper for summary rows. Zero and negative inputs
+ * have no log — instead of silently poisoning the whole summary with
+ * -inf/NaN they are skipped with a warning (0 if nothing remains).
+ */
 inline double
 geomean(const std::vector<double> &values)
 {
-    if (values.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (double v : values)
+    size_t used = 0;
+    for (double v : values) {
+        if (!(v > 0.0)) { // also catches NaN
+            std::fprintf(stderr,
+                         "bench: geomean: skipping non-positive "
+                         "value %g\n",
+                         v);
+            continue;
+        }
         log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
+        ++used;
+    }
+    if (used == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(used));
 }
 
 } // namespace bench

@@ -27,19 +27,31 @@ main()
     Table t({"benchmark", "cap$ 64e (1KB)", "cap$ 128e (2KB)",
              "alias$ 256e (4KB)", "alias$ 512e (8KB)"});
 
-    std::vector<double> cap64, cap128, alias256, alias512;
-    for (const BenchmarkProfile &p : allProfiles()) {
-        SystemConfig small;
-        small.variant.kind = VariantKind::MicrocodePrediction;
-        small.capCacheEntries = 64;
-        small.aliasCache.sets = 128; // 256 entries, 2-way
-        RunResult rs = runProfile(p, small);
+    SystemConfig small;
+    small.variant.kind = VariantKind::MicrocodePrediction;
+    small.capCacheEntries = 64;
+    small.aliasCache.sets = 128; // 256 entries, 2-way
 
-        SystemConfig big;
-        big.variant.kind = VariantKind::MicrocodePrediction;
-        big.capCacheEntries = 128;
-        big.aliasCache.sets = 256; // 512 entries, 2-way
-        RunResult rb = runProfile(p, big);
+    SystemConfig big;
+    big.variant.kind = VariantKind::MicrocodePrediction;
+    big.capCacheEntries = 128;
+    big.aliasCache.sets = 256; // 512 entries, 2-way
+
+    // The whole (14 profiles x 2 configs) sweep runs on the campaign
+    // driver's worker pool (row-major results), so it parallelizes
+    // and caches like fig06.
+    const std::vector<ConfigPoint> points = {
+        {"small-caches", small},
+        {"big-caches", big},
+    };
+    const std::vector<BenchmarkProfile> &profiles = allProfiles();
+    std::vector<RunResult> results = runMatrix(profiles, points);
+
+    std::vector<double> cap64, cap128, alias256, alias512;
+    for (size_t pi = 0; pi < profiles.size(); ++pi) {
+        const BenchmarkProfile &p = profiles[pi];
+        const RunResult &rs = results[pi * points.size() + 0];
+        const RunResult &rb = results[pi * points.size() + 1];
 
         cap64.push_back(rs.capCacheMissRate);
         cap128.push_back(rb.capCacheMissRate);

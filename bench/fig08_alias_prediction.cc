@@ -28,19 +28,33 @@ main()
              "accuracy", "P0AN", "PMAN", "PNA0", "squash% base",
              "squash% CHEx86"});
 
+    SystemConfig base_cfg;
+    base_cfg.variant.kind = VariantKind::Baseline;
+
+    SystemConfig c1;
+    c1.variant.kind = VariantKind::MicrocodePrediction;
+    c1.aliasPredictor.entries = 1024;
+
+    SystemConfig c2 = c1;
+    c2.aliasPredictor.entries = 2048;
+
+    // (14 profiles x 3 configs) on the campaign driver's worker pool
+    // (row-major results), parallel and cacheable like fig06.
+    const std::vector<ConfigPoint> points = {
+        {"baseline", base_cfg},
+        {"pred-1024e", c1},
+        {"pred-2048e", c2},
+    };
+    const std::vector<BenchmarkProfile> &profiles = allProfiles();
+    std::vector<RunResult> results = runMatrix(profiles, points);
+
     std::vector<double> acc, mis1024;
     std::vector<double> squash_delta;
-    for (const BenchmarkProfile &p : allProfiles()) {
-        RunResult base = runVariant(p, VariantKind::Baseline);
-
-        SystemConfig c1;
-        c1.variant.kind = VariantKind::MicrocodePrediction;
-        c1.aliasPredictor.entries = 1024;
-        RunResult r1 = runProfile(p, c1);
-
-        SystemConfig c2 = c1;
-        c2.aliasPredictor.entries = 2048;
-        RunResult r2 = runProfile(p, c2);
+    for (size_t pi = 0; pi < profiles.size(); ++pi) {
+        const BenchmarkProfile &p = profiles[pi];
+        const RunResult &base = results[pi * points.size() + 0];
+        const RunResult &r1 = results[pi * points.size() + 1];
+        const RunResult &r2 = results[pi * points.size() + 2];
 
         acc.push_back(r1.aliasPredAccuracy);
         mis1024.push_back(r1.reloadMispredictionRate);

@@ -43,12 +43,22 @@ main()
              "footprint CHEx86", "ASan ovh", "CHEx86 ovh",
              "BW base MB/s", "BW CHEx86 MB/s", "BW ratio"});
 
+    // (14 profiles x 3 variants) on the campaign driver's worker
+    // pool (row-major results), parallel and cacheable like fig06.
+    const std::vector<VariantKind> kinds = {
+        VariantKind::Baseline,
+        VariantKind::Asan,
+        VariantKind::MicrocodePrediction,
+    };
+    const std::vector<BenchmarkProfile> &profiles = allProfiles();
+    std::vector<RunResult> results = runMatrix(profiles, kinds);
+
     std::vector<double> bw_ratio, chex_ovh, asan_ovh;
-    for (const BenchmarkProfile &p : allProfiles()) {
-        RunResult base = runVariant(p, VariantKind::Baseline);
-        RunResult asan = runVariant(p, VariantKind::Asan);
-        RunResult pred =
-            runVariant(p, VariantKind::MicrocodePrediction);
+    for (size_t pi = 0; pi < profiles.size(); ++pi) {
+        const BenchmarkProfile &p = profiles[pi];
+        const RunResult &base = results[pi * kinds.size() + 0];
+        const RunResult &asan = results[pi * kinds.size() + 1];
+        const RunResult &pred = results[pi * kinds.size() + 2];
 
         double a_ovh = static_cast<double>(asan.footprintBytes) /
                            base.residentBytes -

@@ -536,6 +536,14 @@ getUint(const Value &obj, const std::string &key, uint64_t dflt)
     return v && v->isNumber() ? v->asUint64() : dflt;
 }
 
+int64_t
+getInt(const Value &obj, const std::string &key, int64_t dflt)
+{
+    const Value *v = obj.find(key);
+    return v && v->isNumber() ? static_cast<int64_t>(v->number())
+                              : dflt;
+}
+
 double
 getDouble(const Value &obj, const std::string &key, double dflt)
 {

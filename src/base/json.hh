@@ -168,6 +168,9 @@ void writeEscaped(std::ostream &os, const std::string &s);
 bool getBool(const Value &obj, const std::string &key, bool dflt);
 uint64_t getUint(const Value &obj, const std::string &key,
                  uint64_t dflt);
+/** Signed variant for members that can be negative (exit codes). */
+int64_t getInt(const Value &obj, const std::string &key,
+               int64_t dflt);
 double getDouble(const Value &obj, const std::string &key, double dflt);
 std::string getString(const Value &obj, const std::string &key,
                       const std::string &dflt);

@@ -5,8 +5,10 @@
 #include <queue>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 #include "base/logging.hh"
+#include "driver/spec_hash.hh"
 #include "driver/subprocess.hh"
 #include "workload/generator.hh"
 
@@ -29,16 +31,27 @@ failureCauseName(FailureCause cause)
 }
 
 FailureCause
-failureCauseFromName(const std::string &name)
+failureCauseFromName(const std::string &name, bool *known)
 {
     static const FailureCause all[] = {
         FailureCause::None, FailureCause::Exception,
         FailureCause::Signal, FailureCause::Timeout,
         FailureCause::NonzeroExit,
     };
-    for (FailureCause c : all)
-        if (name == failureCauseName(c))
+    for (FailureCause c : all) {
+        if (name == failureCauseName(c)) {
+            if (known)
+                *known = true;
             return c;
+        }
+    }
+    // A token from a newer (or corrupt) report: coercing silently
+    // would make a bad cache report invisible, so say what happened.
+    chex_warn("report: unknown failure cause '%s'; treating as "
+              "exception",
+              name.c_str());
+    if (known)
+        *known = false;
     return FailureCause::Exception;
 }
 
@@ -82,10 +95,15 @@ runSpec(const JobSpec &spec, uint64_t seed)
     return r;
 }
 
-/** Execute one job, including bounded retry and failure capture. */
+/**
+ * Fill the identity fields every JobResult carries, run or cached.
+ * specHash stays 0 for body-override jobs: their outcome is not a
+ * function of the hashed spec, so recording a hash would let a later
+ * campaign wrongly satisfy a default-body job from their result.
+ */
 JobResult
-executeJob(const JobSpec &spec, size_t index,
-           const CampaignOptions &opts)
+describeJob(const JobSpec &spec, size_t index,
+            const CampaignOptions &opts)
 {
     JobResult jr;
     jr.index = index;
@@ -95,6 +113,16 @@ executeJob(const JobSpec &spec, size_t index,
     jr.repetition = spec.repetition;
     jr.seed = spec.workloadSeed ? *spec.workloadSeed
                                 : jobSeed(opts.seed, index);
+    jr.specHash = spec.body ? 0 : specHash(spec, jr.seed);
+    return jr;
+}
+
+/** Execute one job, including bounded retry and failure capture. */
+JobResult
+executeJob(const JobSpec &spec, size_t index,
+           const CampaignOptions &opts)
+{
+    JobResult jr = describeJob(spec, index, opts);
 
     // Wall time accumulates across attempts (attemptSeconds keeps
     // the per-attempt breakdown), so a job that fails twice before
@@ -123,12 +151,16 @@ executeJob(const JobSpec &spec, size_t index,
                 jr.error.clear();
                 jr.cause = FailureCause::None;
                 jr.exitStatus = 0;
+                jr.exitCode = 0;
+                jr.termSignal = 0;
                 return jr;
             }
             jr.failed = true;
             jr.cause = out.cause;
             jr.error = out.error;
             jr.exitStatus = out.exitStatus;
+            jr.exitCode = out.exitCode;
+            jr.termSignal = out.termSignal;
             continue;
         }
 
@@ -176,6 +208,44 @@ runCampaign(const std::vector<JobSpec> &jobs,
 
     Clock::time_point campaign_start = Clock::now();
 
+    // Result-cache index over the prior reports: specHash -> prior
+    // successful job. Failed/timed-out prior jobs never enter the
+    // index (their point must re-run), and specHash 0 marks
+    // uncacheable entries (body overrides, pre-v3 reports). The
+    // first occurrence wins when reports overlap.
+    std::unordered_map<uint64_t, const JobResult *> cache;
+    for (const CampaignReport &prior : opts.cacheReports)
+        for (const JobResult &pjr : prior.jobs)
+            if (!pjr.failed && pjr.specHash)
+                cache.emplace(pjr.specHash, &pjr);
+
+    // Satisfy cache hits up front (submission order, before any
+    // worker starts), then queue only the remaining indices.
+    std::vector<size_t> to_run;
+    to_run.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        JobResult jr = describeJob(jobs[i], i, opts);
+        const JobResult *hit = nullptr;
+        if (jr.specHash) {
+            auto it = cache.find(jr.specHash);
+            // The seed feeds the hash, so the equality check only
+            // guards against hash collisions — but a wrong cache hit
+            // silently corrupts a figure, so belt and braces.
+            if (it != cache.end() && it->second->seed == jr.seed)
+                hit = it->second;
+        }
+        if (!hit) {
+            to_run.push_back(i);
+            continue;
+        }
+        jr.cached = true;
+        jr.attempts = 0;
+        jr.run = hit->run;
+        report.jobs[i] = std::move(jr);
+        if (opts.onJobDone)
+            opts.onJobDone(report.jobs[i]);
+    }
+
     // Lock-guarded work queue of job indices. Results land in
     // pre-sized per-job slots (each index is popped exactly once, so
     // slot writes are unshared). The progress callback serializes on
@@ -184,7 +254,7 @@ runCampaign(const std::vector<JobSpec> &jobs,
     std::mutex queue_mtx;
     std::mutex done_mtx;
     std::queue<size_t> pending;
-    for (size_t i = 0; i < jobs.size(); ++i)
+    for (size_t i : to_run)
         pending.push(i);
 
     auto worker_fn = [&]() {
@@ -220,6 +290,8 @@ runCampaign(const std::vector<JobSpec> &jobs,
     for (const JobResult &jr : report.jobs) {
         report.jobsRun++;
         report.serialSeconds += jr.wallSeconds;
+        if (jr.cached)
+            report.jobsCached++;
         if (jr.failed) {
             report.jobsFailed++;
             continue;

@@ -25,6 +25,15 @@
  * FailureCause instead of taking down (or hanging) the campaign
  * process. See subprocess.hh; in-process execution remains the
  * default and is bit-for-bit unaffected.
+ *
+ * Result caching (CampaignOptions::cacheReports): prior campaign
+ * reports act as a result cache. Every job is content-hashed (see
+ * spec_hash.hh) and a job whose (specHash, seed) matches a prior
+ * *successful* job is satisfied from the cache without simulating —
+ * the cached RunResult is bit-identical by the determinism contract
+ * above. Failed or timed-out prior jobs never satisfy the cache, and
+ * jobs with a body override are never cached (their outcome is not a
+ * function of the hashed spec).
  */
 
 #ifndef CHEX_DRIVER_CAMPAIGN_HH
@@ -89,8 +98,14 @@ enum class FailureCause : uint8_t
 /** Printable cause token ("exception", "signal", ...). */
 const char *failureCauseName(FailureCause cause);
 
-/** Reverse of failureCauseName; unknown tokens map to Exception. */
-FailureCause failureCauseFromName(const std::string &name);
+/**
+ * Reverse of failureCauseName. Unknown tokens (newer or corrupt
+ * reports) map to Exception after a chex_warn — silent coercion
+ * would make a bad cache report invisible; @p known (if non-null)
+ * additionally reports whether the token was recognized.
+ */
+FailureCause failureCauseFromName(const std::string &name,
+                                  bool *known = nullptr);
 
 /** Outcome of one job, failed or not. */
 struct JobResult
@@ -102,8 +117,22 @@ struct JobResult
     uint64_t seed = 0;       // effective workload seed
     unsigned repetition = 0;
 
+    /**
+     * Canonical content hash of (spec, seed) — see spec_hash.hh.
+     * 0 for body-override jobs, which are not content-hashable and
+     * therefore never satisfiable from a result cache.
+     */
+    uint64_t specHash = 0;
+
+    /**
+     * True when this job was satisfied from a prior report via
+     * CampaignOptions::cacheReports instead of being simulated;
+     * `run` then carries the cached result and attempts is 0.
+     */
+    bool cached = false;
+
     bool failed = false;
-    unsigned attempts = 0;   // 1 on first-try success
+    unsigned attempts = 0;   // 1 on first-try success; 0 when cached
     std::string error;       // failure detail when failed
 
     /** Structured failure classification (None when !failed). */
@@ -112,13 +141,46 @@ struct JobResult
     /**
      * Isolated mode: the child's exit code (cause NonzeroExit) or
      * terminating/killing signal number (cause Signal / Timeout) of
-     * the final attempt. 0 otherwise.
+     * the final attempt. 0 otherwise. Kept for v1/v2 report
+     * compatibility; prefer the unambiguous exitCode/termSignal
+     * split below (a v2 report cannot distinguish a child that the
+     * watchdog SIGKILLed from one that exited with code 9).
      */
     int exitStatus = 0;
+
+    /** Child exit code of the final attempt (cause NonzeroExit). */
+    int exitCode = 0;
+
+    /**
+     * Terminating (cause Signal) or killing (cause Timeout) signal
+     * number of the final attempt; 0 when the child was not
+     * signalled.
+     */
+    int termSignal = 0;
 
     double wallSeconds = 0.0;          // summed over all attempts
     std::vector<double> attemptSeconds; // per-attempt breakdown
     RunResult run;                      // valid only when !failed
+};
+
+/** Aggregated campaign outcome. */
+struct CampaignReport
+{
+    std::vector<JobResult> jobs; // submission order
+    unsigned workers = 0;
+    uint64_t seed = 0;
+
+    size_t jobsRun = 0;
+    size_t jobsFailed = 0;
+    size_t jobsCached = 0; // satisfied from cacheReports, not run
+
+    double wallSeconds = 0.0;   // campaign wall clock
+    double serialSeconds = 0.0; // sum of per-job wall clocks
+    double speedup = 0.0;       // serialSeconds / wallSeconds
+
+    uint64_t totalCycles = 0;   // over succeeded jobs (incl. cached)
+    uint64_t totalUops = 0;
+    double aggregateIpc = 0.0;  // totalUops / totalCycles
 };
 
 /** Campaign-wide execution knobs. */
@@ -152,28 +214,20 @@ struct CampaignOptions
     /**
      * Progress hook, invoked as each job finishes. Serialized by a
      * dedicated callback lock (completion order, not submission
-     * order) so a slow hook never stalls queue pops.
+     * order) so a slow hook never stalls queue pops. Cache-satisfied
+     * jobs invoke it too (before the worker pool starts, in
+     * submission order) with JobResult::cached set.
      */
     std::function<void(const JobResult &)> onJobDone;
-};
 
-/** Aggregated campaign outcome. */
-struct CampaignReport
-{
-    std::vector<JobResult> jobs; // submission order
-    unsigned workers = 0;
-    uint64_t seed = 0;
-
-    size_t jobsRun = 0;
-    size_t jobsFailed = 0;
-
-    double wallSeconds = 0.0;   // campaign wall clock
-    double serialSeconds = 0.0; // sum of per-job wall clocks
-    double speedup = 0.0;       // serialSeconds / wallSeconds
-
-    uint64_t totalCycles = 0;   // over succeeded jobs
-    uint64_t totalUops = 0;
-    double aggregateIpc = 0.0;  // totalUops / totalCycles
+    /**
+     * Result cache: prior campaign reports (typically loaded from
+     * disk via driver::fromJson). A job whose (specHash, seed)
+     * matches a successful prior job is satisfied from the cache
+     * without simulating. Only schema-v3 reports carry spec hashes;
+     * older reports load fine but yield no hits.
+     */
+    std::vector<CampaignReport> cacheReports;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "cap/capability.hh"
+#include "driver/spec_hash.hh"
 
 namespace chex
 {
@@ -85,6 +86,8 @@ toJson(const JobResult &jr)
                           .set("variant", jr.variant)
                           .set("seed", jr.seed)
                           .set("repetition", jr.repetition)
+                          .set("specHash", specHashHex(jr.specHash))
+                          .set("cached", jr.cached)
                           .set("status", jr.failed ? "failed" : "ok")
                           .set("attempts", jr.attempts)
                           .set("wallSeconds", jr.wallSeconds)
@@ -93,7 +96,12 @@ toJson(const JobResult &jr)
     if (jr.failed) {
         job.set("error", jr.error)
             .set("cause", failureCauseName(jr.cause))
-            .set("exitStatus", jr.exitStatus);
+            // exitStatus is the legacy conflated field (kept so v2
+            // consumers keep working); exitCode/signal disambiguate
+            // a watchdog SIGKILL from an exit with code 9.
+            .set("exitStatus", jr.exitStatus)
+            .set("exitCode", jr.exitCode)
+            .set("signal", jr.termSignal);
     } else {
         job.set("result", toJson(jr.run));
     }
@@ -108,7 +116,7 @@ toJson(const CampaignReport &report)
         jobs.push(toJson(jr));
 
     return json::Value::object()
-        .set("schema", "chex-campaign-report-v2")
+        .set("schema", "chex-campaign-report-v3")
         .set("seed", report.seed)
         .set("workers", report.workers)
         .set("summary",
@@ -116,6 +124,8 @@ toJson(const CampaignReport &report)
                  .set("jobsRun", static_cast<uint64_t>(report.jobsRun))
                  .set("jobsFailed",
                       static_cast<uint64_t>(report.jobsFailed))
+                 .set("jobsCached",
+                      static_cast<uint64_t>(report.jobsCached))
                  .set("wallSeconds", report.wallSeconds)
                  .set("serialSeconds", report.serialSeconds)
                  .set("speedupVsSerial", report.speedup)
@@ -252,6 +262,12 @@ fromJson(const json::Value &v, JobResult &out, std::string *err)
     out.seed = json::getUint(v, "seed", 0);
     out.repetition =
         static_cast<unsigned>(json::getUint(v, "repetition", 0));
+    // v1/v2 jobs carry no hash: they parse with specHash 0, which
+    // never matches a computed hash, so pre-v3 reports load cleanly
+    // as cache sources but yield no hits.
+    out.specHash =
+        specHashFromHex(json::getString(v, "specHash", ""));
+    out.cached = json::getBool(v, "cached", false);
     out.failed = json::getString(v, "status", "ok") == "failed";
     out.attempts =
         static_cast<unsigned>(json::getUint(v, "attempts", 1));
@@ -270,7 +286,22 @@ fromJson(const json::Value &v, JobResult &out, std::string *err)
         out.cause = failureCauseFromName(
             json::getString(v, "cause", "exception"));
         out.exitStatus = static_cast<int>(
-            static_cast<int64_t>(json::getUint(v, "exitStatus", 0)));
+            json::getInt(v, "exitStatus", 0));
+        if (v.find("exitCode") || v.find("signal")) {
+            out.exitCode =
+                static_cast<int>(json::getInt(v, "exitCode", 0));
+            out.termSignal =
+                static_cast<int>(json::getInt(v, "signal", 0));
+        } else {
+            // v1/v2 conflate signal number and exit code in
+            // exitStatus; the cause says which one it was.
+            if (out.cause == FailureCause::Signal ||
+                out.cause == FailureCause::Timeout) {
+                out.termSignal = out.exitStatus;
+            } else {
+                out.exitCode = out.exitStatus;
+            }
+        }
     } else if (const json::Value *res = v.find("result")) {
         if (!fromJson(*res, out.run, err))
             return false;
@@ -285,7 +316,8 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
         return failParse(err, "report is not an object");
     std::string schema = json::getString(v, "schema", "");
     if (schema != "chex-campaign-report-v1" &&
-        schema != "chex-campaign-report-v2") {
+        schema != "chex-campaign-report-v2" &&
+        schema != "chex-campaign-report-v3") {
         return failParse(err, schema.empty()
                                   ? "missing schema tag"
                                   : "unknown schema tag");
@@ -299,6 +331,8 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
             json::getUint(*summary, "jobsRun", 0));
         out.jobsFailed = static_cast<size_t>(
             json::getUint(*summary, "jobsFailed", 0));
+        out.jobsCached = static_cast<size_t>(
+            json::getUint(*summary, "jobsCached", 0));
         out.wallSeconds = json::getDouble(*summary, "wallSeconds", 0.0);
         out.serialSeconds =
             json::getDouble(*summary, "serialSeconds", 0.0);

@@ -1,12 +1,13 @@
 /**
  * @file
  * Campaign-report serialization: RunResult, JobResult, and
- * CampaignReport → JSON (schema "chex-campaign-report-v2", described
+ * CampaignReport → JSON (schema "chex-campaign-report-v3", described
  * in DESIGN.md §8) and back. The RunResult serializer is also what
  * single runs use to emit structured stats next to
  * System::dumpStatsJson, and the fromJson direction is how
  * fork-isolated workers stream results to the campaign parent and
- * how report consumers (diff/merge tools) load v1 and v2 files.
+ * how cache sources and report consumers (diff/merge tools) load
+ * v1, v2, and v3 files.
  */
 
 #ifndef CHEX_DRIVER_REPORT_HH
@@ -44,9 +45,12 @@ void writeReport(const CampaignReport &report, std::ostream &os);
  * are ignored and absent members keep their struct defaults, so
  * schema-v1 files (no `cause`/`exitStatus`/`attemptSeconds`) load
  * cleanly: a failed v1 job maps to FailureCause::Exception, the only
- * failure v1 could record. Returns false and fills @p err (if
- * non-null) when @p v is structurally wrong (not an object, bad
- * schema tag, jobs not an array, ...).
+ * failure v1 could record. v1/v2 files (no `specHash`/`cached`/
+ * `exitCode`/`signal`) parse with specHash 0 (never a cache hit) and
+ * the conflated `exitStatus` split by cause: signal/timeout failures
+ * backfill `termSignal`, everything else `exitCode`. Returns false
+ * and fills @p err (if non-null) when @p v is structurally wrong
+ * (not an object, bad schema tag, jobs not an array, ...).
  */
 bool fromJson(const json::Value &v, RunResult &out,
               std::string *err = nullptr);

@@ -108,8 +108,14 @@ runIsolatedAttempt(const std::function<RunResult()> &body,
         }
     }
 
-    // Drain the pipe until EOF (child exited) or the deadline.
+    // Drain the pipe until EOF (child exited) or the deadline. A
+    // poll()/read() error is remembered separately: the child may
+    // well still be alive, so falling straight into the blocking
+    // waitpid below would hang the campaign forever when no watchdog
+    // is set — the error path must kill the child before reaping.
     bool timed_out = false;
+    const char *io_error = nullptr; // failing call, when IO broke
+    int io_errno = 0;
     std::string payload;
     char buf[4096];
     for (;;) {
@@ -129,7 +135,9 @@ runIsolatedAttempt(const std::function<RunResult()> &body,
         if (pr < 0) {
             if (errno == EINTR)
                 continue;
-            break; // treat like EOF; waitpid still classifies
+            io_error = "poll()";
+            io_errno = errno;
+            break;
         }
         if (pr == 0) {
             timed_out = true;
@@ -139,6 +147,8 @@ runIsolatedAttempt(const std::function<RunResult()> &body,
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            io_error = "read()";
+            io_errno = errno;
             break;
         }
         if (n == 0)
@@ -147,7 +157,7 @@ runIsolatedAttempt(const std::function<RunResult()> &body,
     }
     ::close(fds[0]);
 
-    if (timed_out)
+    if (timed_out || io_error)
         ::kill(pid, SIGKILL);
 
     int status = 0;
@@ -159,15 +169,26 @@ runIsolatedAttempt(const std::function<RunResult()> &body,
     if (timed_out) {
         out.cause = FailureCause::Timeout;
         out.exitStatus = SIGKILL;
+        out.termSignal = SIGKILL;
         out.error = csprintf(
             "killed after exceeding the %.1fs per-attempt watchdog",
             timeout_seconds);
+        return out;
+    }
+    if (io_error) {
+        // The payload is unreliable and the child was SIGKILLed by
+        // the error path above, so its wait status only reflects our
+        // own kill — classify by what actually went wrong here.
+        out.cause = FailureCause::Exception;
+        out.error = csprintf("result pipe %s failed: %s", io_error,
+                             std::strerror(io_errno));
         return out;
     }
     if (WIFSIGNALED(status)) {
         int sig = WTERMSIG(status);
         out.cause = FailureCause::Signal;
         out.exitStatus = sig;
+        out.termSignal = sig;
         out.error = csprintf("child killed by signal %d (%s)", sig,
                              strsignal(sig));
         return out;
@@ -176,6 +197,7 @@ runIsolatedAttempt(const std::function<RunResult()> &body,
     out.exitStatus = code;
     if (code != 0) {
         out.cause = FailureCause::NonzeroExit;
+        out.exitCode = code;
         out.error = csprintf(
             "child exited with status %d without a result", code);
         return out;

@@ -44,8 +44,18 @@ struct AttemptOutcome
     FailureCause cause = FailureCause::None;
     std::string error; // human-readable detail when !ok
 
-    /** Exit code, or signal number for Signal/Timeout. */
+    /**
+     * Legacy conflated field (v1/v2 reports): exit code, or signal
+     * number for Signal/Timeout. Prefer exitCode/termSignal, which
+     * can tell a watchdog SIGKILL from an exit with code 9.
+     */
     int exitStatus = 0;
+
+    /** Child exit code (cause NonzeroExit); 0 otherwise. */
+    int exitCode = 0;
+
+    /** Terminating/killing signal (cause Signal/Timeout); else 0. */
+    int termSignal = 0;
 
     /** Parent-measured wall clock of the whole attempt. */
     double wallSeconds = 0.0;

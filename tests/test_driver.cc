@@ -4,9 +4,11 @@
  * N-thread campaign reproduces the 1-thread campaign bit for bit),
  * per-job failure isolation and bounded retry, fork-isolated workers
  * (panic/SIGKILL/timeout capture, cross-process result streaming),
- * seed derivation, the JSON value type (writer + parser round trip),
+ * seed derivation, the result cache (spec hashing, hit/miss on
+ * spec/seed/scale changes, failed jobs never satisfying, cached
+ * bit-identity), the JSON value type (writer + parser round trip),
  * the campaign report / single-run stats serialization in both
- * directions (v1 and v2 parse), and the bench env-knob validation.
+ * directions (v1/v2/v3 parse), and the bench env-knob validation.
  */
 
 #include <gtest/gtest.h>
@@ -27,6 +29,7 @@
 #include "base/logging.hh"
 #include "driver/campaign.hh"
 #include "driver/report.hh"
+#include "driver/spec_hash.hh"
 #include "sim/system.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
@@ -250,6 +253,8 @@ TEST(Isolation, PanicIsCapturedAsSignalWhileSiblingsComplete)
     ASSERT_TRUE(r.jobs[2].failed);
     EXPECT_EQ(r.jobs[2].cause, driver::FailureCause::Signal);
     EXPECT_EQ(r.jobs[2].exitStatus, SIGABRT);
+    EXPECT_EQ(r.jobs[2].termSignal, SIGABRT);
+    EXPECT_EQ(r.jobs[2].exitCode, 0);
     EXPECT_NE(r.jobs[2].error.find("signal"), std::string::npos)
         << r.jobs[2].error;
     for (size_t i = 0; i < jobs.size(); ++i) {
@@ -280,6 +285,8 @@ TEST(Isolation, WatchdogKillsStuckJobAndRetries)
     ASSERT_TRUE(r.jobs[0].failed);
     EXPECT_EQ(r.jobs[0].cause, driver::FailureCause::Timeout);
     EXPECT_EQ(r.jobs[0].exitStatus, SIGKILL);
+    EXPECT_EQ(r.jobs[0].termSignal, SIGKILL);
+    EXPECT_EQ(r.jobs[0].exitCode, 0);
     EXPECT_EQ(r.jobs[0].attempts, 2u);
     ASSERT_EQ(r.jobs[0].attemptSeconds.size(), 2u);
     for (double s : r.jobs[0].attemptSeconds)
@@ -377,6 +384,8 @@ TEST(Isolation, NonzeroExitIsCaptured)
     ASSERT_TRUE(r.jobs[0].failed);
     EXPECT_EQ(r.jobs[0].cause, driver::FailureCause::NonzeroExit);
     EXPECT_EQ(r.jobs[0].exitStatus, 7);
+    EXPECT_EQ(r.jobs[0].exitCode, 7);
+    EXPECT_EQ(r.jobs[0].termSignal, 0);
     EXPECT_FALSE(r.jobs[1].failed);
 }
 
@@ -534,21 +543,31 @@ TEST(Report, CampaignJsonRoundTrips)
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
 
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v2");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v3");
     EXPECT_EQ(doc.at("seed").number(), 11.0);
     const json::Value &summary = doc.at("summary");
     EXPECT_EQ(summary.at("jobsRun").number(), 8.0);
     EXPECT_EQ(summary.at("jobsFailed").number(), 1.0);
+    EXPECT_EQ(summary.at("jobsCached").number(), 0.0);
 
     const json::Value &jarr = doc.at("jobs");
     ASSERT_EQ(jarr.size(), 8u);
     for (size_t i = 0; i < jarr.size(); ++i) {
         const json::Value &job = jarr.at(i);
         EXPECT_EQ(job.at("index").number(), double(i));
+        EXPECT_FALSE(job.at("cached").boolean());
+        // Body-override jobs (index 5) are uncacheable: specHash 0.
+        EXPECT_EQ(job.at("specHash").str(),
+                  i == 5 ? "0000000000000000"
+                         : driver::specHashHex(report.jobs[i].specHash));
         if (i == 5) {
             EXPECT_EQ(job.at("status").str(), "failed");
             EXPECT_EQ(job.at("error").str(), "boom");
             EXPECT_EQ(job.find("result"), nullptr);
+            // The v3 split fields ride along with the legacy
+            // conflated exitStatus.
+            EXPECT_EQ(job.at("exitCode").number(), 0.0);
+            EXPECT_EQ(job.at("signal").number(), 0.0);
         } else {
             EXPECT_EQ(job.at("status").str(), "ok");
             const json::Value &res = job.at("result");
@@ -562,7 +581,7 @@ TEST(Report, CampaignJsonRoundTrips)
     }
 }
 
-TEST(Report, V2RoundTripsThroughFromJson)
+TEST(Report, V3RoundTripsThroughFromJson)
 {
     std::vector<driver::JobSpec> jobs = eightJobs();
     jobs.resize(4);
@@ -581,7 +600,7 @@ TEST(Report, V2RoundTripsThroughFromJson)
     json::Value doc;
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v2");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v3");
 
     driver::CampaignReport back;
     ASSERT_TRUE(driver::fromJson(doc, back, &err)) << err;
@@ -589,6 +608,7 @@ TEST(Report, V2RoundTripsThroughFromJson)
     EXPECT_EQ(back.workers, report.workers);
     EXPECT_EQ(back.jobsRun, report.jobsRun);
     EXPECT_EQ(back.jobsFailed, 1u);
+    EXPECT_EQ(back.jobsCached, 0u);
     EXPECT_EQ(back.totalCycles, report.totalCycles);
     EXPECT_EQ(back.totalUops, report.totalUops);
     ASSERT_EQ(back.jobs.size(), report.jobs.size());
@@ -596,8 +616,13 @@ TEST(Report, V2RoundTripsThroughFromJson)
         SCOPED_TRACE(report.jobs[i].label);
         EXPECT_EQ(back.jobs[i].label, report.jobs[i].label);
         EXPECT_EQ(back.jobs[i].seed, report.jobs[i].seed);
+        EXPECT_EQ(back.jobs[i].specHash, report.jobs[i].specHash);
+        EXPECT_EQ(back.jobs[i].cached, report.jobs[i].cached);
         EXPECT_EQ(back.jobs[i].failed, report.jobs[i].failed);
         EXPECT_EQ(back.jobs[i].cause, report.jobs[i].cause);
+        EXPECT_EQ(back.jobs[i].exitCode, report.jobs[i].exitCode);
+        EXPECT_EQ(back.jobs[i].termSignal,
+                  report.jobs[i].termSignal);
         EXPECT_EQ(back.jobs[i].attempts, report.jobs[i].attempts);
         EXPECT_EQ(back.jobs[i].attemptSeconds.size(),
                   report.jobs[i].attemptSeconds.size());
@@ -665,6 +690,83 @@ TEST(Report, V1StillParses)
     // v1 could only record exceptions, so that is the backfill.
     EXPECT_EQ(report.jobs[1].cause, driver::FailureCause::Exception);
     EXPECT_EQ(report.jobs[1].exitStatus, 0);
+    EXPECT_EQ(report.jobs[1].exitCode, 0);
+    EXPECT_EQ(report.jobs[1].termSignal, 0);
+    // Pre-v3 reports carry no specHash: the jobs load fine but can
+    // never satisfy a cache lookup.
+    EXPECT_EQ(report.jobs[0].specHash, 0u);
+    EXPECT_FALSE(report.jobs[0].cached);
+}
+
+TEST(Report, V2SplitsLegacyExitStatusByCause)
+{
+    // Hand-written schema-v2 jobs carry only the conflated
+    // exitStatus member; parsing must split it into termSignal or
+    // exitCode depending on the recorded cause.
+    const char *v2 = R"({
+      "schema": "chex-campaign-report-v2",
+      "seed": 3,
+      "workers": 1,
+      "summary": {
+        "jobsRun": 3, "jobsFailed": 3,
+        "wallSeconds": 1.0, "serialSeconds": 1.0,
+        "speedupVsSerial": 1.0,
+        "totalCycles": 0, "totalUops": 0, "aggregateIpc": 0.0
+      },
+      "jobs": [
+        {"index": 0, "label": "a/baseline", "profile": "a",
+         "variant": "baseline", "seed": 1, "repetition": 0,
+         "status": "failed", "attempts": 1, "wallSeconds": 0.1,
+         "error": "killed by signal 6", "cause": "signal",
+         "exitStatus": 6},
+        {"index": 1, "label": "b/baseline", "profile": "b",
+         "variant": "baseline", "seed": 2, "repetition": 0,
+         "status": "failed", "attempts": 1, "wallSeconds": 0.1,
+         "error": "timed out", "cause": "timeout",
+         "exitStatus": 9},
+        {"index": 2, "label": "c/baseline", "profile": "c",
+         "variant": "baseline", "seed": 3, "repetition": 0,
+         "status": "failed", "attempts": 1, "wallSeconds": 0.1,
+         "error": "exited with status 7", "cause": "nonzero-exit",
+         "exitStatus": 7}
+      ]
+    })";
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(v2, doc, &err)) << err;
+
+    driver::CampaignReport report;
+    ASSERT_TRUE(driver::fromJson(doc, report, &err)) << err;
+    ASSERT_EQ(report.jobs.size(), 3u);
+
+    EXPECT_EQ(report.jobs[0].cause, driver::FailureCause::Signal);
+    EXPECT_EQ(report.jobs[0].exitStatus, 6);
+    EXPECT_EQ(report.jobs[0].termSignal, 6);
+    EXPECT_EQ(report.jobs[0].exitCode, 0);
+
+    EXPECT_EQ(report.jobs[1].cause, driver::FailureCause::Timeout);
+    EXPECT_EQ(report.jobs[1].termSignal, 9);
+    EXPECT_EQ(report.jobs[1].exitCode, 0);
+
+    EXPECT_EQ(report.jobs[2].cause,
+              driver::FailureCause::NonzeroExit);
+    EXPECT_EQ(report.jobs[2].exitCode, 7);
+    EXPECT_EQ(report.jobs[2].termSignal, 0);
+}
+
+TEST(Report, UnknownFailureCauseFallsBackWithWarning)
+{
+    bool known = true;
+    EXPECT_EQ(driver::failureCauseFromName("bogus-token", &known),
+              driver::FailureCause::Exception);
+    EXPECT_FALSE(known);
+    known = false;
+    EXPECT_EQ(driver::failureCauseFromName("timeout", &known),
+              driver::FailureCause::Timeout);
+    EXPECT_TRUE(known);
+    EXPECT_EQ(driver::failureCauseFromName("nonzero-exit"),
+              driver::FailureCause::NonzeroExit);
 }
 
 TEST(Report, FromJsonRejectsUnknownSchema)
@@ -677,6 +779,214 @@ TEST(Report, FromJsonRejectsUnknownSchema)
     std::string err;
     EXPECT_FALSE(driver::fromJson(doc, report, &err));
     EXPECT_NE(err.find("schema"), std::string::npos) << err;
+}
+
+TEST(SpecHash, DeterministicAndSensitiveToEveryInput)
+{
+    driver::JobSpec a;
+    a.profile = tinyProfile();
+    uint64_t h = driver::specHash(a, 42);
+    EXPECT_NE(h, 0u); // 0 is the uncacheable sentinel
+    EXPECT_EQ(h, driver::specHash(a, 42));
+    EXPECT_NE(h, driver::specHash(a, 43)); // seed feeds the hash
+
+    driver::JobSpec b = a;
+    b.profile.iterations += 1;
+    EXPECT_NE(driver::specHash(b, 42), h);
+
+    driver::JobSpec c = a;
+    c.config.variant.kind = VariantKind::Asan;
+    EXPECT_NE(driver::specHash(c, 42), h);
+
+    driver::JobSpec d = a;
+    d.config.capCacheEntries *= 2;
+    EXPECT_NE(driver::specHash(d, 42), h);
+
+    driver::JobSpec e = a;
+    e.config.aliasPredictor.entries *= 2;
+    EXPECT_NE(driver::specHash(e, 42), h);
+
+    // Positional/cosmetic fields do not participate: the same point
+    // hashes identically no matter where it sits in the job list.
+    driver::JobSpec f = a;
+    f.label = "renamed";
+    f.repetition = 5;
+    EXPECT_EQ(driver::specHash(f, 42), h);
+}
+
+TEST(SpecHash, HexRoundTrips)
+{
+    const uint64_t h = 0xdeadbeef01234567ull;
+    std::string hex = driver::specHashHex(h);
+    EXPECT_EQ(hex.size(), 16u);
+    EXPECT_EQ(driver::specHashFromHex(hex), h);
+    EXPECT_EQ(driver::specHashHex(0), "0000000000000000");
+    // Malformed hex parses to the uncacheable sentinel, not garbage.
+    EXPECT_EQ(driver::specHashFromHex(""), 0u);
+    EXPECT_EQ(driver::specHashFromHex("zz"), 0u);
+    EXPECT_EQ(driver::specHashFromHex("123"), 0u);
+}
+
+TEST(Cache, SecondRunIsFullySatisfiedAndBitIdentical)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = 5;
+    driver::CampaignReport first = driver::runCampaign(jobs, opts);
+    ASSERT_EQ(first.jobsFailed, 0u);
+    EXPECT_EQ(first.jobsCached, 0u);
+
+    // Round-trip the prior report through JSON exactly like a real
+    // --cache file would travel.
+    std::ostringstream ss;
+    driver::writeReport(first, ss);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
+    driver::CampaignReport prior;
+    ASSERT_TRUE(driver::fromJson(doc, prior, &err)) << err;
+
+    driver::CampaignOptions cached = opts;
+    cached.cacheReports.push_back(prior);
+    size_t done_calls = 0;
+    cached.onJobDone = [&](const driver::JobResult &jr) {
+        EXPECT_TRUE(jr.cached);
+        ++done_calls;
+    };
+    driver::CampaignReport second = driver::runCampaign(jobs, cached);
+
+    EXPECT_EQ(second.jobsCached, jobs.size());
+    EXPECT_EQ(second.jobsFailed, 0u);
+    EXPECT_EQ(done_calls, jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(first.jobs[i].label);
+        EXPECT_TRUE(second.jobs[i].cached);
+        EXPECT_EQ(second.jobs[i].attempts, 0u);
+        EXPECT_DOUBLE_EQ(second.jobs[i].wallSeconds, 0.0);
+        EXPECT_EQ(second.jobs[i].seed, first.jobs[i].seed);
+        EXPECT_EQ(second.jobs[i].specHash, first.jobs[i].specHash);
+        EXPECT_EQ(second.jobs[i].run.cycles, first.jobs[i].run.cycles);
+        EXPECT_EQ(second.jobs[i].run.uops, first.jobs[i].run.uops);
+        EXPECT_EQ(second.jobs[i].run.macroOps,
+                  first.jobs[i].run.macroOps);
+        EXPECT_DOUBLE_EQ(second.jobs[i].run.ipc,
+                         first.jobs[i].run.ipc);
+        EXPECT_EQ(second.jobs[i].run.capChecksInjected,
+                  first.jobs[i].run.capChecksInjected);
+    }
+}
+
+TEST(Cache, MissesOnSpecSeedAndScaleChanges)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = 5;
+    driver::CampaignReport first = driver::runCampaign(jobs, opts);
+    ASSERT_EQ(first.jobsFailed, 0u);
+
+    driver::CampaignOptions with_cache = opts;
+    with_cache.cacheReports.push_back(first);
+
+    // A profile-parameter change invalidates every hit.
+    std::vector<driver::JobSpec> tweaked = jobs;
+    for (driver::JobSpec &j : tweaked)
+        j.profile.iterations += 100;
+    driver::CampaignReport r1 =
+        driver::runCampaign(tweaked, with_cache);
+    EXPECT_EQ(r1.jobsCached, 0u);
+
+    // A different campaign seed derives different workload seeds.
+    driver::CampaignOptions reseeded = with_cache;
+    reseeded.seed = 6;
+    driver::CampaignReport r2 = driver::runCampaign(jobs, reseeded);
+    EXPECT_EQ(r2.jobsCached, 0u);
+
+    // A scale change (what CHEX_BENCH_SCALE does to a matrix)
+    // rewrites the iteration counts, so nothing matches either.
+    std::vector<driver::JobSpec> scaled = jobs;
+    for (driver::JobSpec &j : scaled)
+        j.profile = j.profile.scaledBy(2);
+    ASSERT_NE(scaled[0].profile.iterations,
+              jobs[0].profile.iterations);
+    driver::CampaignReport r3 =
+        driver::runCampaign(scaled, with_cache);
+    EXPECT_EQ(r3.jobsCached, 0u);
+}
+
+TEST(Cache, FailedPriorJobsNeverSatisfy)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs.resize(2);
+    // A default-body job that fails deterministically: the macro-op
+    // cap ends the run before the workload can exit, which runSpec
+    // reports as an error. Its spec still hashes (no body override),
+    // so this exercises the failed-entries-stay-out rule rather than
+    // the uncacheable-sentinel path.
+    jobs[1].config.maxMacroOps = 10;
+
+    driver::CampaignOptions opts;
+    opts.workers = 1;
+    opts.seed = 9;
+    driver::CampaignReport first = driver::runCampaign(jobs, opts);
+    ASSERT_EQ(first.jobsFailed, 1u);
+    ASSERT_TRUE(first.jobs[1].failed);
+    EXPECT_NE(first.jobs[1].specHash, 0u);
+
+    driver::CampaignOptions with_cache = opts;
+    with_cache.cacheReports.push_back(first);
+    driver::CampaignReport second =
+        driver::runCampaign(jobs, with_cache);
+
+    EXPECT_TRUE(second.jobs[0].cached);
+    EXPECT_FALSE(second.jobs[1].cached);
+    EXPECT_EQ(second.jobs[1].attempts, 1u);
+    EXPECT_TRUE(second.jobs[1].failed); // re-ran, failed again
+    EXPECT_EQ(second.jobsCached, 1u);
+}
+
+TEST(Cache, BodyOverrideJobsNeverHitTheCache)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    jobs.resize(2);
+    // The body computes exactly what the default would, but the
+    // driver cannot know that: a std::function's content is opaque,
+    // so the job must be uncacheable in both directions.
+    jobs[1].body = [](const driver::JobSpec &spec,
+                      uint64_t seed) -> RunResult {
+        System sys(spec.config);
+        sys.load(generateWorkload(spec.profile, seed));
+        return sys.run();
+    };
+
+    driver::CampaignOptions opts;
+    opts.workers = 1;
+    opts.seed = 5;
+    driver::CampaignReport first = driver::runCampaign(jobs, opts);
+    ASSERT_EQ(first.jobsFailed, 0u);
+    EXPECT_EQ(first.jobs[1].specHash, 0u);
+
+    driver::CampaignOptions with_cache = opts;
+    with_cache.cacheReports.push_back(first);
+    driver::CampaignReport second =
+        driver::runCampaign(jobs, with_cache);
+
+    EXPECT_TRUE(second.jobs[0].cached);
+    EXPECT_FALSE(second.jobs[1].cached);
+    EXPECT_EQ(second.jobs[1].attempts, 1u);
+    EXPECT_EQ(second.jobsCached, 1u);
+}
+
+TEST(BenchEnv, GeomeanSkipsNonPositiveValues)
+{
+    EXPECT_DOUBLE_EQ(bench::geomean({2.0, 8.0}), 4.0);
+    // Zeros and negatives have no logarithm: they are skipped, not
+    // allowed to poison the mean with -inf/NaN.
+    EXPECT_DOUBLE_EQ(bench::geomean({2.0, 0.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(bench::geomean({-1.0, 2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(bench::geomean({0.0, -3.0}), 0.0);
+    EXPECT_DOUBLE_EQ(bench::geomean({}), 0.0);
 }
 
 TEST(BenchEnv, KnobParsingValidatesAndClamps)

@@ -6,6 +6,10 @@
  *
  *   chex-campaign --profiles spec --variants baseline,ucode-pred \
  *                 --jobs 8 --seed 7 --reps 3 --out report.json
+ *
+ * Incremental re-runs pass previous reports as a result cache:
+ *
+ *   chex-campaign ... --cache report.json --out report2.json
  */
 
 #include <cstdio>
@@ -83,6 +87,12 @@ usage(const char *argv0)
         "  --timeout SECS   per-attempt wall-clock watchdog; a stuck\n"
         "                   child is killed and recorded as failed\n"
         "                   (cause: timeout). Implies --isolate\n"
+        "  --cache FILE     load a previous campaign report as a\n"
+        "                   result cache (repeatable; also seeded\n"
+        "                   from $CHEX_BENCH_CACHE, colon-separated).\n"
+        "                   Jobs whose spec hash and seed match a\n"
+        "                   successful prior job are not re-simulated\n"
+        "  --no-cache       ignore --cache and $CHEX_BENCH_CACHE\n"
         "  --out FILE       write the JSON report to FILE\n"
         "  --quiet          suppress per-job progress lines\n"
         "  --list           list profiles and variant tokens, exit\n",
@@ -118,6 +128,8 @@ main(int argc, char **argv)
     bool isolate = false;
     double timeout = 0.0;
     bool quiet = false;
+    std::vector<std::string> cache_paths;
+    bool no_cache = false;
 
     if (const char *s = std::getenv("CHEX_BENCH_SCALE")) {
         uint64_t v = std::strtoull(s, nullptr, 10);
@@ -131,6 +143,13 @@ main(int argc, char **argv)
         double v = std::strtod(s, nullptr);
         if (v > 0.0)
             timeout = v;
+    }
+    if (const char *s = std::getenv("CHEX_BENCH_CACHE")) {
+        std::stringstream ss(s);
+        std::string path;
+        while (std::getline(ss, path, ':'))
+            if (!path.empty())
+                cache_paths.push_back(path);
     }
 
     for (int i = 1; i < argc; ++i) {
@@ -170,6 +189,10 @@ main(int argc, char **argv)
                              argv[0], val);
                 return 2;
             }
+        } else if (arg == "--cache") {
+            cache_paths.push_back(next("--cache"));
+        } else if (arg == "--no-cache") {
+            no_cache = true;
         } else if (arg == "--out") {
             out_path = next("--out");
         } else if (arg == "--quiet") {
@@ -276,6 +299,37 @@ main(int argc, char **argv)
     opts.maxAttempts = retries;
     opts.isolation = isolate;
     opts.timeoutSeconds = timeout;
+
+    // Load the result cache: every prior report is parsed with the
+    // same fromJson path the isolated workers use, so v1/v2/v3 files
+    // all load (only v3 carries spec hashes and can produce hits).
+    // An unreadable cache file is a hard error — the user explicitly
+    // asked for it, and silently re-simulating everything would be
+    // the costliest possible way to honor that request.
+    if (no_cache)
+        cache_paths.clear();
+    for (const std::string &path : cache_paths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::fprintf(stderr, "%s: cannot read cache '%s'\n",
+                         argv[0], path.c_str());
+            return 2;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        json::Value doc;
+        std::string err;
+        driver::CampaignReport prior;
+        if (!json::Value::parse(ss.str(), doc, &err) ||
+            !driver::fromJson(doc, prior, &err)) {
+            std::fprintf(stderr, "%s: cache '%s' is not a campaign "
+                         "report: %s\n",
+                         argv[0], path.c_str(), err.c_str());
+            return 2;
+        }
+        opts.cacheReports.push_back(std::move(prior));
+    }
+
     size_t done = 0;
     if (!quiet) {
         opts.onJobDone = [&](const driver::JobResult &jr) {
@@ -285,6 +339,12 @@ main(int argc, char **argv)
                             done, specs.size(), jr.label.c_str(),
                             driver::failureCauseName(jr.cause),
                             jr.error.c_str());
+            } else if (jr.cached) {
+                std::printf("[%3zu/%zu] %-40s %10lu cycles  ipc %.2f"
+                            "  (cached)\n",
+                            done, specs.size(), jr.label.c_str(),
+                            static_cast<unsigned long>(jr.run.cycles),
+                            jr.run.ipc);
             } else {
                 std::printf("[%3zu/%zu] %-40s %10lu cycles  ipc %.2f"
                             "  %.2fs\n",
@@ -298,12 +358,13 @@ main(int argc, char **argv)
 
     driver::CampaignReport report = driver::runCampaign(specs, opts);
 
-    std::printf("\ncampaign: %zu jobs (%zu failed) on %u workers, "
-                "%.2fs wall (serial %.2fs, speedup %.2fx), "
-                "aggregate ipc %.2f\n",
-                report.jobsRun, report.jobsFailed, report.workers,
-                report.wallSeconds, report.serialSeconds,
-                report.speedup, report.aggregateIpc);
+    std::printf("\ncampaign: %zu jobs (%zu cached, %zu failed) on "
+                "%u workers, %.2fs wall (serial %.2fs, speedup "
+                "%.2fx), aggregate ipc %.2f\n",
+                report.jobsRun, report.jobsCached, report.jobsFailed,
+                report.workers, report.wallSeconds,
+                report.serialSeconds, report.speedup,
+                report.aggregateIpc);
 
     if (out.is_open()) {
         driver::writeReport(report, out);
