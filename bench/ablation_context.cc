@@ -8,9 +8,18 @@
  * text section and reports the check count and slowdown, showing
  * overhead scaling down to near-native as the protected region
  * shrinks.
+ *
+ * The per-profile (baseline + five protected fractions) cells run as
+ * one job list on the campaign driver's worker pool, so the usual
+ * bench env knobs — scale, jobs, isolate, timeout, cache, shard —
+ * all apply. Workload generation is deterministic in (profile,
+ * seed), so the program generated here to size the critical regions
+ * is bit-identical to the one each driver job regenerates.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "base/table.hh"
 #include "common.hh"
@@ -25,34 +34,50 @@ main()
                 "enforcement\n\n");
 
     const double fractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
-    Table t({"benchmark", "protected", "slowdown", "checks",
-             "uop expansion"});
+    const size_t cells = 1 + std::size(fractions);
+    const char *names[] = {"mcf", "xalancbmk", "perlbench"};
 
-    for (const char *name : {"mcf", "xalancbmk", "perlbench"}) {
-        const BenchmarkProfile &p = profileByName(name);
-        RunResult base = runVariant(p, VariantKind::Baseline);
-
-        BenchmarkProfile scaled = p;
-        scaled.iterations =
-            std::max<uint64_t>(200, p.iterations / scale());
+    std::vector<driver::JobSpec> jobs;
+    for (const char *name : names) {
+        BenchmarkProfile scaled =
+            profileByName(name).scaledBy(scale());
         Program prog = generateWorkload(scaled, 1);
         uint64_t text_bytes = prog.numInsts() * InstSlotBytes;
 
+        driver::JobSpec base;
+        base.label = std::string(name) + "/baseline";
+        base.profile = scaled;
+        base.config.variant.kind = VariantKind::Baseline;
+        base.workloadSeed = 1;
+        jobs.push_back(std::move(base));
+
         for (double f : fractions) {
-            SystemConfig cfg;
-            cfg.variant.kind = VariantKind::MicrocodePrediction;
+            driver::JobSpec spec;
+            spec.label = std::string(name) + "/protected-" +
+                         std::to_string(static_cast<int>(f * 100));
+            spec.profile = scaled;
+            spec.config.variant.kind =
+                VariantKind::MicrocodePrediction;
             if (f < 1.0) {
-                cfg.variant.criticalRegions = {
+                spec.config.variant.criticalRegions = {
                     {prog.codeBase,
                      prog.codeBase +
                          static_cast<uint64_t>(f * text_bytes)}};
             }
-            System sys(cfg);
-            sys.load(prog);
-            RunResult r = sys.run();
-            if (!r.exited)
-                chex_fatal("context ablation run failed");
-            t.addRow({name, Table::pct(f, 0),
+            spec.workloadSeed = 1;
+            jobs.push_back(std::move(spec));
+        }
+    }
+
+    std::vector<RunResult> results = runCampaignJobs(std::move(jobs), 1);
+
+    Table t({"benchmark", "protected", "slowdown", "checks",
+             "uop expansion"});
+    for (size_t pi = 0; pi < std::size(names); ++pi) {
+        const RunResult &base = results[pi * cells];
+        for (size_t fi = 0; fi < std::size(fractions); ++fi) {
+            const RunResult &r = results[pi * cells + 1 + fi];
+            t.addRow({names[pi], Table::pct(fractions[fi], 0),
                       Table::pct(static_cast<double>(r.cycles) /
                                          base.cycles -
                                      1,

@@ -7,6 +7,10 @@
  * costs ~40 % on average and up to 2x on xalancbmk, versus the
  * targeted, prediction-driven injection. The always-on microcode
  * variant is exactly that conservative scheme.
+ *
+ * The four variant columns run on the campaign driver's worker pool
+ * (runMatrix), so the usual bench env knobs — scale, jobs, isolate,
+ * timeout, cache, shard — all apply.
  */
 
 #include <iostream>
@@ -24,18 +28,25 @@ main()
     std::printf("Ablation: conservative (Watchdog-style, always-on) "
                 "instrumentation vs prediction-driven injection\n\n");
 
+    const std::vector<BenchmarkProfile> profiles = specProfiles();
+    const std::vector<VariantKind> variants = {
+        VariantKind::Baseline,
+        VariantKind::MicrocodeAlwaysOn,
+        VariantKind::BinaryTranslation,
+        VariantKind::MicrocodePrediction,
+    };
+    std::vector<RunResult> results = runMatrix(profiles, variants);
+
     Table t({"benchmark", "conservative (uop-level)",
              "conservative (macro-level)",
              "prediction-driven", "checks conservative",
              "checks prediction", "checks saved"});
     std::vector<double> cons_uop, cons_macro, pred;
-    for (const BenchmarkProfile &p : specProfiles()) {
-        RunResult base = runVariant(p, VariantKind::Baseline);
-        RunResult on = runVariant(p, VariantKind::MicrocodeAlwaysOn);
-        RunResult bt =
-            runVariant(p, VariantKind::BinaryTranslation);
-        RunResult pr =
-            runVariant(p, VariantKind::MicrocodePrediction);
+    for (size_t pi = 0; pi < profiles.size(); ++pi) {
+        const RunResult &base = results[pi * variants.size() + 0];
+        const RunResult &on = results[pi * variants.size() + 1];
+        const RunResult &bt = results[pi * variants.size() + 2];
+        const RunResult &pr = results[pi * variants.size() + 3];
         double c = static_cast<double>(on.cycles) / base.cycles;
         double m = static_cast<double>(bt.cycles) / base.cycles;
         double d = static_cast<double>(pr.cycles) / base.cycles;
@@ -44,8 +55,8 @@ main()
         pred.push_back(d);
         double saved = 1.0 - static_cast<double>(pr.capChecksInjected) /
                                  on.capChecksInjected;
-        t.addRow({p.name, Table::pct(c - 1, 1), Table::pct(m - 1, 1),
-                  Table::pct(d - 1, 1),
+        t.addRow({profiles[pi].name, Table::pct(c - 1, 1),
+                  Table::pct(m - 1, 1), Table::pct(d - 1, 1),
                   std::to_string(on.capChecksInjected),
                   std::to_string(pr.capChecksInjected),
                   Table::pct(saved, 1)});

@@ -3,31 +3,31 @@
  * Shared helpers for the figure/table regeneration harnesses: run a
  * benchmark profile under a variant and collect the RunResult, or
  * fan a (profile × variant/config) sweep out on the campaign
- * driver's worker pool. Process-wide env knobs: CHEX_BENCH_SCALE
- * divides iteration counts for quick smoke runs, CHEX_BENCH_JOBS
- * caps the pool width, CHEX_BENCH_ISOLATE/CHEX_BENCH_TIMEOUT fork
- * and watchdog each job, and CHEX_BENCH_CACHE points at previous
- * campaign reports whose matching successful jobs are reused
- * instead of re-simulated.
+ * driver's worker pool. Process-wide env knobs (parsed by
+ * driver::optionsFromEnv, shared with the chex-campaign CLI):
+ * CHEX_BENCH_SCALE divides iteration counts for quick smoke runs,
+ * CHEX_BENCH_JOBS caps the pool width, CHEX_BENCH_ISOLATE /
+ * CHEX_BENCH_TIMEOUT fork and watchdog each job, CHEX_BENCH_CACHE
+ * points at previous campaign reports whose matching successful jobs
+ * are reused instead of re-simulated, and CHEX_BENCH_SHARD=I/N runs
+ * only every Nth sweep cell (the resulting figures are partial; the
+ * complete-figure path is to shard via the CLI, merge, and feed the
+ * merged report back through CHEX_BENCH_CACHE).
  */
 
 #ifndef CHEX_BENCH_COMMON_HH
 #define CHEX_BENCH_COMMON_HH
 
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
-#include "base/json.hh"
 #include "driver/campaign.hh"
+#include "driver/env.hh"
 #include "driver/report.hh"
 #include "sim/system.hh"
 #include "workload/generator.hh"
@@ -38,39 +38,11 @@ namespace chex
 namespace bench
 {
 
-/**
- * Parse env var @p name as a positive integer. Garbage, zero, and
- * negative values are rejected with a stderr warning and replaced by
- * @p dflt (clamped to >= 1) instead of being silently misread.
- */
-inline uint64_t
-positiveEnv(const char *name, uint64_t dflt)
-{
-    uint64_t fallback = dflt ? dflt : 1;
-    const char *s = std::getenv(name);
-    if (!s || !*s)
-        return fallback;
-    char *end = nullptr;
-    errno = 0;
-    unsigned long long v = std::strtoull(s, &end, 10);
-    // strtoull wraps negatives around instead of failing.
-    bool negative = std::strchr(s, '-') != nullptr;
-    if (negative || errno != 0 || !end || *end != '\0' || v == 0) {
-        std::fprintf(stderr,
-                     "bench: %s='%s' is not a positive integer; "
-                     "using %llu\n",
-                     name, s,
-                     static_cast<unsigned long long>(fallback));
-        return fallback;
-    }
-    return v;
-}
-
 /** Iteration divisor from $CHEX_BENCH_SCALE (default 1). */
 inline uint64_t
 scale()
 {
-    return positiveEnv("CHEX_BENCH_SCALE", 1);
+    return driver::optionsFromEnv().scale;
 }
 
 /** Run @p profile under @p cfg; returns the collected results. */
@@ -105,17 +77,18 @@ runVariant(const BenchmarkProfile &profile, VariantKind kind,
 inline unsigned
 benchJobs()
 {
+    unsigned jobs = driver::optionsFromEnv().jobs;
+    if (jobs)
+        return jobs;
     unsigned hw = std::thread::hardware_concurrency();
-    return static_cast<unsigned>(
-        positiveEnv("CHEX_BENCH_JOBS", hw ? hw : 1));
+    return hw ? hw : 1;
 }
 
 /** Fork-isolated sweep workers: $CHEX_BENCH_ISOLATE (0/unset = off). */
 inline bool
 benchIsolate()
 {
-    const char *s = std::getenv("CHEX_BENCH_ISOLATE");
-    return s && *s && std::strcmp(s, "0") != 0;
+    return driver::optionsFromEnv().isolate;
 }
 
 /**
@@ -126,19 +99,7 @@ benchIsolate()
 inline double
 benchTimeout()
 {
-    const char *s = std::getenv("CHEX_BENCH_TIMEOUT");
-    if (!s || !*s)
-        return 0.0;
-    char *end = nullptr;
-    double v = std::strtod(s, &end);
-    if (!end || *end != '\0' || !(v >= 0.0)) {
-        std::fprintf(stderr,
-                     "bench: CHEX_BENCH_TIMEOUT='%s' is not a "
-                     "non-negative number of seconds; watchdog off\n",
-                     s);
-        return 0.0;
-    }
-    return v;
+    return driver::optionsFromEnv().timeoutSeconds;
 }
 
 /**
@@ -151,33 +112,13 @@ inline std::vector<driver::CampaignReport>
 benchCacheReports()
 {
     std::vector<driver::CampaignReport> reports;
-    const char *s = std::getenv("CHEX_BENCH_CACHE");
-    if (!s || !*s)
-        return reports;
-    std::stringstream paths(s);
-    std::string path;
-    while (std::getline(paths, path, ':')) {
-        if (path.empty())
-            continue;
-        std::ifstream in(path);
-        if (!in) {
-            std::fprintf(stderr,
-                         "bench: CHEX_BENCH_CACHE: cannot read "
-                         "'%s'; skipping\n",
-                         path.c_str());
-            continue;
-        }
-        std::stringstream body;
-        body << in.rdbuf();
-        json::Value doc;
-        std::string err;
+    for (const std::string &path : driver::optionsFromEnv().cachePaths) {
         driver::CampaignReport rep;
-        if (!json::Value::parse(body.str(), doc, &err) ||
-            !driver::fromJson(doc, rep, &err)) {
+        std::string err;
+        if (!driver::loadReportFile(path, rep, &err)) {
             std::fprintf(stderr,
-                         "bench: CHEX_BENCH_CACHE: '%s' is not a "
-                         "campaign report (%s); skipping\n",
-                         path.c_str(), err.c_str());
+                         "bench: CHEX_BENCH_CACHE: %s; skipping\n",
+                         err.c_str());
             continue;
         }
         reports.push_back(std::move(rep));
@@ -187,20 +128,25 @@ benchCacheReports()
 
 /**
  * Run a prepared job list on the campaign driver with the shared
- * bench env knobs (CHEX_BENCH_JOBS/ISOLATE/TIMEOUT/CACHE) applied,
- * and return the per-job results in submission order. Every failed
- * cell is reported before exiting — a sweep that dies on the first
- * failure hides every other broken cell, which matters when a config
- * change breaks a whole variant column at once.
+ * bench env knobs (CHEX_BENCH_JOBS/ISOLATE/TIMEOUT/CACHE/SHARD)
+ * applied, and return the per-job results in submission order. Every
+ * failed cell is reported before exiting — a sweep that dies on the
+ * first failure hides every other broken cell, which matters when a
+ * config change breaks a whole variant column at once.
+ *
+ * Under CHEX_BENCH_SHARD, out-of-shard cells come back as zeroed
+ * RunResults with a loud note that the figures are partial; sharded
+ * harness output is for smoke coverage, not publication tables.
  */
 inline std::vector<RunResult>
 runCampaignJobs(std::vector<driver::JobSpec> jobs, uint64_t seed)
 {
+    driver::EnvOptions env = driver::optionsFromEnv();
     driver::CampaignOptions opts;
-    opts.workers = benchJobs();
     opts.seed = seed;
-    opts.isolation = benchIsolate();
-    opts.timeoutSeconds = benchTimeout();
+    env.applyTo(opts);
+    if (!opts.workers)
+        opts.workers = benchJobs();
     opts.cacheReports = benchCacheReports();
     driver::CampaignReport report = driver::runCampaign(jobs, opts);
 
@@ -208,7 +154,9 @@ runCampaignJobs(std::vector<driver::JobSpec> jobs, uint64_t seed)
     results.reserve(report.jobs.size());
     size_t bad = 0;
     for (const driver::JobResult &jr : report.jobs) {
-        if (jr.failed || !jr.run.exited) {
+        if (jr.skipped) {
+            // Out-of-shard placeholder, not a failure.
+        } else if (jr.failed || !jr.run.exited) {
             std::fprintf(stderr,
                          "bench: %s did not complete cleanly%s%s\n",
                          jr.label.c_str(),
@@ -222,6 +170,14 @@ runCampaignJobs(std::vector<driver::JobSpec> jobs, uint64_t seed)
         std::fprintf(stderr, "bench: %zu of %zu sweep cells failed\n",
                      bad, report.jobs.size());
         std::exit(1);
+    }
+    if (report.jobsSkipped) {
+        std::fprintf(stderr,
+                     "bench: CHEX_BENCH_SHARD=%u/%u: %zu of %zu "
+                     "sweep cells out of shard; figures below are "
+                     "partial\n",
+                     report.shardIndex, report.shardCount,
+                     report.jobsSkipped, report.jobs.size());
     }
     return results;
 }

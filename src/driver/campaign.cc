@@ -198,6 +198,15 @@ runCampaign(const std::vector<JobSpec> &jobs,
     report.seed = opts.seed;
     report.jobs.resize(jobs.size());
 
+    unsigned shard_count = std::max(1u, opts.shardCount);
+    if (opts.shardIndex >= shard_count) {
+        chex_fatal("campaign: shard index %u out of range for %u "
+                   "shards",
+                   opts.shardIndex, shard_count);
+    }
+    report.shardIndex = opts.shardIndex;
+    report.shardCount = shard_count;
+
     unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     unsigned workers = opts.workers ? opts.workers : hw;
     workers = std::max(1u,
@@ -219,12 +228,20 @@ runCampaign(const std::vector<JobSpec> &jobs,
             if (!pjr.failed && pjr.specHash)
                 cache.emplace(pjr.specHash, &pjr);
 
-    // Satisfy cache hits up front (submission order, before any
-    // worker starts), then queue only the remaining indices.
+    // Emit placeholder rows for out-of-shard jobs and satisfy cache
+    // hits up front (submission order, before any worker starts),
+    // then queue only the remaining indices. Out-of-shard jobs never
+    // consult the cache: each index must be provided by exactly one
+    // shard, which is what lets mergeReports reject overlaps.
     std::vector<size_t> to_run;
     to_run.reserve(jobs.size());
     for (size_t i = 0; i < jobs.size(); ++i) {
         JobResult jr = describeJob(jobs[i], i, opts);
+        if (i % shard_count != opts.shardIndex) {
+            jr.skipped = true;
+            report.jobs[i] = std::move(jr);
+            continue;
+        }
         const JobResult *hit = nullptr;
         if (jr.specHash) {
             auto it = cache.find(jr.specHash);
@@ -288,6 +305,10 @@ runCampaign(const std::vector<JobSpec> &jobs,
 
     report.wallSeconds = secondsSince(campaign_start);
     for (const JobResult &jr : report.jobs) {
+        if (jr.skipped) {
+            report.jobsSkipped++;
+            continue;
+        }
         report.jobsRun++;
         report.serialSeconds += jr.wallSeconds;
         if (jr.cached)

@@ -34,6 +34,15 @@
  * above. Failed or timed-out prior jobs never satisfy the cache, and
  * jobs with a body override are never cached (their outcome is not a
  * function of the hashed spec).
+ *
+ * Sharding (CampaignOptions::shardIndex/shardCount): a campaign can
+ * be split across machines by job index — shard I of N simulates
+ * only the jobs with `index % N == I` and emits placeholder rows
+ * (JobResult::skipped) for everything else, so submission-order
+ * indices survive into every shard report. Because per-job seeds are
+ * derived from (campaign seed, index), the in-shard jobs are
+ * bit-identical to the same jobs of an unsharded run; merge.hh
+ * recombines K shard reports into one complete report.
  */
 
 #ifndef CHEX_DRIVER_CAMPAIGN_HH
@@ -131,6 +140,17 @@ struct JobResult
      */
     bool cached = false;
 
+    /**
+     * True when this job belongs to another shard of a sharded
+     * campaign: the row is a pure placeholder carrying only the
+     * identity fields above (label, seed, specHash, ...) so that job
+     * indices keep their submission-order meaning in every shard
+     * report. A skipped job was neither run nor cached (`run` is
+     * empty, attempts is 0) and is exactly what mergeReports()
+     * replaces with the owning shard's real row.
+     */
+    bool skipped = false;
+
     bool failed = false;
     unsigned attempts = 0;   // 1 on first-try success; 0 when cached
     std::string error;       // failure detail when failed
@@ -170,9 +190,19 @@ struct CampaignReport
     unsigned workers = 0;
     uint64_t seed = 0;
 
-    size_t jobsRun = 0;
+    /**
+     * Which slice of the campaign this report covers: shard
+     * `shardIndex` of `shardCount`. An unsharded (or merged) report
+     * is shard 0 of 1. Jobs outside the shard appear as skipped
+     * placeholder rows and are excluded from every aggregate below.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
+
+    size_t jobsRun = 0;    // in-shard jobs (run, cached, or failed)
     size_t jobsFailed = 0;
     size_t jobsCached = 0; // satisfied from cacheReports, not run
+    size_t jobsSkipped = 0; // out-of-shard placeholder rows
 
     double wallSeconds = 0.0;   // campaign wall clock
     double serialSeconds = 0.0; // sum of per-job wall clocks
@@ -224,10 +254,21 @@ struct CampaignOptions
      * Result cache: prior campaign reports (typically loaded from
      * disk via driver::fromJson). A job whose (specHash, seed)
      * matches a successful prior job is satisfied from the cache
-     * without simulating. Only schema-v3 reports carry spec hashes;
+     * without simulating. Only schema-v3+ reports carry spec hashes;
      * older reports load fine but yield no hits.
      */
     std::vector<CampaignReport> cacheReports;
+
+    /**
+     * Run only shard `shardIndex` of `shardCount`: jobs with
+     * `index % shardCount != shardIndex` become skipped placeholder
+     * rows — never simulated, never cache-satisfied, and never
+     * reported through onJobDone. The default (0 of 1) runs
+     * everything. shardIndex must be < shardCount (fatal otherwise);
+     * a shardCount of 0 is treated as 1.
+     */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
 };
 
 /**

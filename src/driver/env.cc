@@ -1,0 +1,172 @@
+#include "env.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+namespace
+{
+
+/**
+ * Parse @p s as a positive integer; garbage, zero, and negative
+ * values yield 0 (the "invalid" sentinel — every knob using this
+ * rejects 0 anyway).
+ */
+uint64_t
+parsePositive(const char *s)
+{
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    // strtoull wraps negatives around instead of failing.
+    if (std::strchr(s, '-') || errno != 0 || !end || *end != '\0')
+        return 0;
+    return v;
+}
+
+/**
+ * Warn-and-fall-back for a malformed positive-integer knob.
+ * @p dflt_desc names the fallback in the warning when the default
+ * value alone would be cryptic (e.g. 0 meaning "all cores").
+ */
+uint64_t
+positiveEnv(const char *name, uint64_t dflt,
+            const char *dflt_desc = nullptr)
+{
+    const char *s = std::getenv(name);
+    if (!s || !*s)
+        return dflt;
+    uint64_t v = parsePositive(s);
+    if (v == 0) {
+        std::fprintf(stderr,
+                     "chex: %s='%s' is not a positive integer; "
+                     "using %s\n",
+                     name, s,
+                     dflt_desc
+                         ? dflt_desc
+                         : csprintf("%llu",
+                                    static_cast<unsigned long long>(
+                                        dflt))
+                               .c_str());
+        return dflt;
+    }
+    return v;
+}
+
+} // namespace
+
+bool
+parseShardSpec(const std::string &spec, unsigned &index,
+               unsigned &count, std::string *err)
+{
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+    size_t slash = spec.find('/');
+    if (slash == std::string::npos)
+        return fail("expected INDEX/COUNT, e.g. 0/2");
+    std::string idx_s = spec.substr(0, slash);
+    std::string cnt_s = spec.substr(slash + 1);
+    if (idx_s.empty() || cnt_s.empty())
+        return fail("expected INDEX/COUNT, e.g. 0/2");
+    // The index may legitimately be 0, so parse it separately from
+    // the positive-only count.
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long idx = std::strtoull(idx_s.c_str(), &end, 10);
+    if (std::strchr(idx_s.c_str(), '-') || errno != 0 || !end ||
+        *end != '\0') {
+        return fail(csprintf("'%s' is not a shard index",
+                             idx_s.c_str()));
+    }
+    uint64_t cnt = parsePositive(cnt_s.c_str());
+    if (cnt == 0) {
+        return fail(csprintf("'%s' is not a positive shard count",
+                             cnt_s.c_str()));
+    }
+    if (idx >= cnt) {
+        return fail(csprintf("shard index %llu out of range for "
+                             "%llu shards",
+                             idx,
+                             static_cast<unsigned long long>(cnt)));
+    }
+    index = static_cast<unsigned>(idx);
+    count = static_cast<unsigned>(cnt);
+    return true;
+}
+
+EnvOptions
+optionsFromEnv()
+{
+    EnvOptions env;
+
+    env.scale = positiveEnv("CHEX_BENCH_SCALE", 1);
+    env.jobs = static_cast<unsigned>(
+        positiveEnv("CHEX_BENCH_JOBS", 0, "all cores"));
+
+    if (const char *s = std::getenv("CHEX_BENCH_ISOLATE"))
+        env.isolate = *s && std::strcmp(s, "0") != 0;
+
+    if (const char *s = std::getenv("CHEX_BENCH_TIMEOUT")) {
+        if (*s) {
+            char *end = nullptr;
+            double v = std::strtod(s, &end);
+            if (!end || *end != '\0' || !(v >= 0.0)) {
+                std::fprintf(stderr,
+                             "chex: CHEX_BENCH_TIMEOUT='%s' is not a "
+                             "non-negative number of seconds; "
+                             "watchdog off\n",
+                             s);
+            } else {
+                env.timeoutSeconds = v;
+            }
+        }
+    }
+
+    if (const char *s = std::getenv("CHEX_BENCH_CACHE")) {
+        std::stringstream paths(s);
+        std::string path;
+        while (std::getline(paths, path, ':'))
+            if (!path.empty())
+                env.cachePaths.push_back(path);
+    }
+
+    if (const char *s = std::getenv("CHEX_BENCH_SHARD")) {
+        if (*s) {
+            std::string err;
+            if (!parseShardSpec(s, env.shardIndex, env.shardCount,
+                                &err)) {
+                std::fprintf(stderr,
+                             "chex: CHEX_BENCH_SHARD='%s': %s; "
+                             "running unsharded\n",
+                             s, err.c_str());
+            }
+        }
+    }
+
+    return env;
+}
+
+void
+EnvOptions::applyTo(CampaignOptions &opts) const
+{
+    opts.workers = jobs;
+    opts.isolation = isolate;
+    opts.timeoutSeconds = timeoutSeconds;
+    opts.shardIndex = shardIndex;
+    opts.shardCount = shardCount;
+}
+
+} // namespace driver
+} // namespace chex

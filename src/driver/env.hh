@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The one place the CHEX_BENCH_* environment knobs are parsed. The
+ * bench harnesses (bench/common.hh) and the chex-campaign CLI both
+ * used to hand-roll this parsing with subtly different validation;
+ * optionsFromEnv() is the shared builder with the strict behavior
+ * of both: garbage, zero, and negative values warn on stderr and
+ * fall back to the default instead of being silently misread.
+ *
+ * Knobs:
+ *   CHEX_BENCH_SCALE    divide workload iteration counts (>= 1)
+ *   CHEX_BENCH_JOBS     worker pool width (>= 1; unset = all cores)
+ *   CHEX_BENCH_ISOLATE  fork each attempt ("0"/unset/empty = off)
+ *   CHEX_BENCH_TIMEOUT  per-attempt watchdog seconds (>= 0; 0 = off)
+ *   CHEX_BENCH_CACHE    colon-separated prior-report paths
+ *   CHEX_BENCH_SHARD    "I/N": run shard I of N (default "0/1")
+ *
+ * Loading the cache *files* is deliberately not done here: the CLI
+ * hard-errors on an unreadable --cache/CHEX_BENCH_CACHE path while
+ * the benches warn and skip, so the paths are returned raw and each
+ * consumer applies its own policy.
+ */
+
+#ifndef CHEX_DRIVER_ENV_HH
+#define CHEX_DRIVER_ENV_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/campaign.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+/** Every CHEX_BENCH_* knob, validated and defaulted. */
+struct EnvOptions
+{
+    uint64_t scale = 1;          // CHEX_BENCH_SCALE
+    unsigned jobs = 0;           // CHEX_BENCH_JOBS; 0 = all cores
+    bool isolate = false;        // CHEX_BENCH_ISOLATE
+    double timeoutSeconds = 0.0; // CHEX_BENCH_TIMEOUT
+    std::vector<std::string> cachePaths; // CHEX_BENCH_CACHE
+    unsigned shardIndex = 0;     // CHEX_BENCH_SHARD ("I/N")
+    unsigned shardCount = 1;
+
+    /**
+     * Copy the campaign-execution knobs (jobs, isolate, timeout,
+     * shard) onto @p opts. Scale and the cache paths are not
+     * CampaignOptions concerns and stay with the caller.
+     */
+    void applyTo(CampaignOptions &opts) const;
+};
+
+/**
+ * Parse every CHEX_BENCH_* knob from the current environment.
+ * Re-reads the environment on every call (tests mutate it), and
+ * each malformed value warns on stderr and falls back to its
+ * default rather than silently misreading.
+ */
+EnvOptions optionsFromEnv();
+
+/**
+ * Parse a shard spec of the form "I/N" (e.g. "0/2"): N >= 1 shards,
+ * shard index I < N. Returns false — leaving @p index/@p count
+ * untouched — and fills @p err (if non-null) for anything else.
+ * Shared by --shard and CHEX_BENCH_SHARD.
+ */
+bool parseShardSpec(const std::string &spec, unsigned &index,
+                    unsigned &count, std::string *err = nullptr);
+
+} // namespace driver
+} // namespace chex
+
+#endif // CHEX_DRIVER_ENV_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Recombining sharded campaign reports. A campaign run as K shards
+ * (CampaignOptions::shardIndex/shardCount) produces K reports that
+ * all carry the full submission-order job list — each report holds
+ * real rows for its own shard and skipped placeholder rows for
+ * everyone else's. mergeReports() stitches them back into the one
+ * report an unsharded run would have produced: per-job results are
+ * taken verbatim from the owning shard (bit-identical by the
+ * driver's determinism contract) and every aggregate is recomputed
+ * from the merged rows.
+ *
+ * Validation is strict, because a silently wrong merge corrupts
+ * figures: the shards must agree on the campaign seed and job
+ * count, every per-job identity (seed, specHash, label) must match
+ * across shards, no job index may be provided by more than one
+ * shard, and no index may be provided by none (an incomplete shard
+ * set).
+ *
+ * A merged report is an ordinary complete report (shard 0 of 1):
+ * it feeds --cache / CampaignOptions::cacheReports exactly like an
+ * unsharded report, which is what makes the distribute-merge-rerun
+ * workflow close the loop.
+ */
+
+#ifndef CHEX_DRIVER_MERGE_HH
+#define CHEX_DRIVER_MERGE_HH
+
+#include <string>
+#include <vector>
+
+#include "driver/campaign.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+/**
+ * Merge @p shards (any order) into @p out. Returns false — leaving
+ * @p out empty — and fills @p err (if non-null) when the shards are
+ * not a complete, consistent, non-overlapping partition of one
+ * campaign.
+ */
+bool mergeReports(const std::vector<CampaignReport> &shards,
+                  CampaignReport &out, std::string *err = nullptr);
+
+} // namespace driver
+} // namespace chex
+
+#endif // CHEX_DRIVER_MERGE_HH

@@ -1,5 +1,9 @@
 #include "report.hh"
 
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
 #include "base/logging.hh"
 #include "cap/capability.hh"
 #include "driver/spec_hash.hh"
@@ -79,6 +83,10 @@ toJson(const JobResult &jr)
     for (double s : jr.attemptSeconds)
         attempt_seconds.push(s);
 
+    // A skipped row is an out-of-shard placeholder: identity only,
+    // neither a result nor a failure.
+    const char *status =
+        jr.skipped ? "skipped" : (jr.failed ? "failed" : "ok");
     json::Value job = json::Value::object()
                           .set("index", static_cast<uint64_t>(jr.index))
                           .set("label", jr.label)
@@ -88,12 +96,14 @@ toJson(const JobResult &jr)
                           .set("repetition", jr.repetition)
                           .set("specHash", specHashHex(jr.specHash))
                           .set("cached", jr.cached)
-                          .set("status", jr.failed ? "failed" : "ok")
+                          .set("status", status)
                           .set("attempts", jr.attempts)
                           .set("wallSeconds", jr.wallSeconds)
                           .set("attemptSeconds",
                                std::move(attempt_seconds));
-    if (jr.failed) {
+    if (jr.skipped) {
+        // Placeholder rows carry nothing further.
+    } else if (jr.failed) {
         job.set("error", jr.error)
             .set("cause", failureCauseName(jr.cause))
             // exitStatus is the legacy conflated field (kept so v2
@@ -116,9 +126,13 @@ toJson(const CampaignReport &report)
         jobs.push(toJson(jr));
 
     return json::Value::object()
-        .set("schema", "chex-campaign-report-v3")
+        .set("schema", "chex-campaign-report-v4")
         .set("seed", report.seed)
         .set("workers", report.workers)
+        .set("shard", json::Value::object()
+                          .set("index", report.shardIndex)
+                          .set("count", std::max(1u,
+                                                 report.shardCount)))
         .set("summary",
              json::Value::object()
                  .set("jobsRun", static_cast<uint64_t>(report.jobsRun))
@@ -126,6 +140,8 @@ toJson(const CampaignReport &report)
                       static_cast<uint64_t>(report.jobsFailed))
                  .set("jobsCached",
                       static_cast<uint64_t>(report.jobsCached))
+                 .set("jobsSkipped",
+                      static_cast<uint64_t>(report.jobsSkipped))
                  .set("wallSeconds", report.wallSeconds)
                  .set("serialSeconds", report.serialSeconds)
                  .set("speedupVsSerial", report.speedup)
@@ -268,7 +284,11 @@ fromJson(const json::Value &v, JobResult &out, std::string *err)
     out.specHash =
         specHashFromHex(json::getString(v, "specHash", ""));
     out.cached = json::getBool(v, "cached", false);
-    out.failed = json::getString(v, "status", "ok") == "failed";
+    std::string status = json::getString(v, "status", "ok");
+    out.failed = status == "failed";
+    // "skipped" is new in v4; pre-v4 reports never carry it, so
+    // their jobs all parse as provided (skipped = false).
+    out.skipped = status == "skipped";
     out.attempts =
         static_cast<unsigned>(json::getUint(v, "attempts", 1));
     out.wallSeconds = json::getDouble(v, "wallSeconds", 0.0);
@@ -317,7 +337,8 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
     std::string schema = json::getString(v, "schema", "");
     if (schema != "chex-campaign-report-v1" &&
         schema != "chex-campaign-report-v2" &&
-        schema != "chex-campaign-report-v3") {
+        schema != "chex-campaign-report-v3" &&
+        schema != "chex-campaign-report-v4") {
         return failParse(err, schema.empty()
                                   ? "missing schema tag"
                                   : "unknown schema tag");
@@ -326,6 +347,20 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
     out.seed = json::getUint(v, "seed", 0);
     out.workers =
         static_cast<unsigned>(json::getUint(v, "workers", 0));
+    // Pre-v4 reports have no shard block: they are complete
+    // unsharded campaigns, i.e. shard 0 of 1.
+    if (const json::Value *shard = v.find("shard")) {
+        if (!shard->isObject())
+            return failParse(err, "'shard' is not an object");
+        out.shardIndex = static_cast<unsigned>(
+            json::getUint(*shard, "index", 0));
+        out.shardCount = static_cast<unsigned>(
+            json::getUint(*shard, "count", 1));
+        if (out.shardCount == 0 ||
+            out.shardIndex >= out.shardCount) {
+            return failParse(err, "'shard' index/count out of range");
+        }
+    }
     if (const json::Value *summary = v.find("summary")) {
         out.jobsRun = static_cast<size_t>(
             json::getUint(*summary, "jobsRun", 0));
@@ -333,6 +368,8 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
             json::getUint(*summary, "jobsFailed", 0));
         out.jobsCached = static_cast<size_t>(
             json::getUint(*summary, "jobsCached", 0));
+        out.jobsSkipped = static_cast<size_t>(
+            json::getUint(*summary, "jobsSkipped", 0));
         out.wallSeconds = json::getDouble(*summary, "wallSeconds", 0.0);
         out.serialSeconds =
             json::getDouble(*summary, "serialSeconds", 0.0);
@@ -350,6 +387,30 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
         if (!fromJson(job, jr, err))
             return false;
         out.jobs.push_back(std::move(jr));
+    }
+    return true;
+}
+
+bool
+loadReportFile(const std::string &path, CampaignReport &out,
+               std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = csprintf("cannot read '%s'", path.c_str());
+        return false;
+    }
+    std::stringstream body;
+    body << in.rdbuf();
+    json::Value doc;
+    std::string parse_err;
+    if (!json::Value::parse(body.str(), doc, &parse_err) ||
+        !fromJson(doc, out, &parse_err)) {
+        if (err)
+            *err = csprintf("'%s' is not a campaign report: %s",
+                            path.c_str(), parse_err.c_str());
+        return false;
     }
     return true;
 }

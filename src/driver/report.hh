@@ -1,13 +1,13 @@
 /**
  * @file
  * Campaign-report serialization: RunResult, JobResult, and
- * CampaignReport → JSON (schema "chex-campaign-report-v3", described
+ * CampaignReport → JSON (schema "chex-campaign-report-v4", described
  * in DESIGN.md §8) and back. The RunResult serializer is also what
  * single runs use to emit structured stats next to
  * System::dumpStatsJson, and the fromJson direction is how
  * fork-isolated workers stream results to the campaign parent and
- * how cache sources and report consumers (diff/merge tools) load
- * v1, v2, and v3 files.
+ * how cache sources and report consumers (the merge subcommand,
+ * diff tools) load v1 through v4 files.
  */
 
 #ifndef CHEX_DRIVER_REPORT_HH
@@ -48,7 +48,9 @@ void writeReport(const CampaignReport &report, std::ostream &os);
  * failure v1 could record. v1/v2 files (no `specHash`/`cached`/
  * `exitCode`/`signal`) parse with specHash 0 (never a cache hit) and
  * the conflated `exitStatus` split by cause: signal/timeout failures
- * backfill `termSignal`, everything else `exitCode`. Returns false
+ * backfill `termSignal`, everything else `exitCode`. Pre-v4 files
+ * (no `shard` block, no "skipped" job status) parse as complete
+ * unsharded reports — shard 0 of 1, nothing skipped. Returns false
  * and fills @p err (if non-null) when @p v is structurally wrong
  * (not an object, bad schema tag, jobs not an array, ...).
  */
@@ -61,6 +63,17 @@ bool fromJson(const json::Value &v, JobResult &out,
 bool fromJson(const json::Value &v, CampaignReport &out,
               std::string *err = nullptr);
 /** @} */
+
+/**
+ * Read + parse a report file in one step (the common prologue of
+ * every report consumer: the CLI's --cache and merge inputs, the
+ * bench harnesses' CHEX_BENCH_CACHE). Returns false and fills
+ * @p err (if non-null) when the file is unreadable or not a
+ * campaign report; the *policy* for that (hard error vs warn and
+ * skip) stays with the caller.
+ */
+bool loadReportFile(const std::string &path, CampaignReport &out,
+                    std::string *err = nullptr);
 
 } // namespace driver
 } // namespace chex

@@ -8,8 +8,11 @@
  * count, changes the hash), the full SystemConfig including the
  * enforcement variant, and the effective workload seed. Nothing
  * positional goes in — not the job index, not the repetition
- * ordinal, not the display label — so the same (spec, seed) point
- * hashes identically no matter where it sits in which campaign.
+ * ordinal, not the display label, and not the shard geometry — so
+ * the same (spec, seed) point hashes identically no matter where it
+ * sits in which campaign. Shard independence is what lets a merged
+ * shard report (merge.hh) feed the cache of any later re-run,
+ * sharded differently or not at all.
  *
  * The hash is a tagged FNV-1a over a canonical little-endian byte
  * stream (each field is emitted as "name\0" + 8 value bytes), so it

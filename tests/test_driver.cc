@@ -6,9 +6,12 @@
  * (panic/SIGKILL/timeout capture, cross-process result streaming),
  * seed derivation, the result cache (spec hashing, hit/miss on
  * spec/seed/scale changes, failed jobs never satisfying, cached
- * bit-identity), the JSON value type (writer + parser round trip),
- * the campaign report / single-run stats serialization in both
- * directions (v1/v2/v3 parse), and the bench env-knob validation.
+ * bit-identity), campaign sharding (the union of K shards is
+ * bit-identical to the unsharded run) and report merging (seed /
+ * option / coverage validation), the JSON value type (writer +
+ * parser round trip), the campaign report / single-run stats
+ * serialization in both directions (v1-v4 parse), and the bench
+ * env-knob validation.
  */
 
 #include <gtest/gtest.h>
@@ -28,6 +31,8 @@
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "driver/campaign.hh"
+#include "driver/env.hh"
+#include "driver/merge.hh"
 #include "driver/report.hh"
 #include "driver/spec_hash.hh"
 #include "sim/system.hh"
@@ -543,12 +548,16 @@ TEST(Report, CampaignJsonRoundTrips)
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
 
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v3");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v4");
     EXPECT_EQ(doc.at("seed").number(), 11.0);
+    // An unsharded campaign is shard 0 of 1 with nothing skipped.
+    EXPECT_EQ(doc.at("shard").at("index").number(), 0.0);
+    EXPECT_EQ(doc.at("shard").at("count").number(), 1.0);
     const json::Value &summary = doc.at("summary");
     EXPECT_EQ(summary.at("jobsRun").number(), 8.0);
     EXPECT_EQ(summary.at("jobsFailed").number(), 1.0);
     EXPECT_EQ(summary.at("jobsCached").number(), 0.0);
+    EXPECT_EQ(summary.at("jobsSkipped").number(), 0.0);
 
     const json::Value &jarr = doc.at("jobs");
     ASSERT_EQ(jarr.size(), 8u);
@@ -581,7 +590,7 @@ TEST(Report, CampaignJsonRoundTrips)
     }
 }
 
-TEST(Report, V3RoundTripsThroughFromJson)
+TEST(Report, V4RoundTripsThroughFromJson)
 {
     std::vector<driver::JobSpec> jobs = eightJobs();
     jobs.resize(4);
@@ -600,12 +609,15 @@ TEST(Report, V3RoundTripsThroughFromJson)
     json::Value doc;
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v3");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v4");
 
     driver::CampaignReport back;
     ASSERT_TRUE(driver::fromJson(doc, back, &err)) << err;
     EXPECT_EQ(back.seed, report.seed);
     EXPECT_EQ(back.workers, report.workers);
+    EXPECT_EQ(back.shardIndex, 0u);
+    EXPECT_EQ(back.shardCount, 1u);
+    EXPECT_EQ(back.jobsSkipped, 0u);
     EXPECT_EQ(back.jobsRun, report.jobsRun);
     EXPECT_EQ(back.jobsFailed, 1u);
     EXPECT_EQ(back.jobsCached, 0u);
@@ -618,6 +630,7 @@ TEST(Report, V3RoundTripsThroughFromJson)
         EXPECT_EQ(back.jobs[i].seed, report.jobs[i].seed);
         EXPECT_EQ(back.jobs[i].specHash, report.jobs[i].specHash);
         EXPECT_EQ(back.jobs[i].cached, report.jobs[i].cached);
+        EXPECT_EQ(back.jobs[i].skipped, report.jobs[i].skipped);
         EXPECT_EQ(back.jobs[i].failed, report.jobs[i].failed);
         EXPECT_EQ(back.jobs[i].cause, report.jobs[i].cause);
         EXPECT_EQ(back.jobs[i].exitCode, report.jobs[i].exitCode);
@@ -753,6 +766,61 @@ TEST(Report, V2SplitsLegacyExitStatusByCause)
               driver::FailureCause::NonzeroExit);
     EXPECT_EQ(report.jobs[2].exitCode, 7);
     EXPECT_EQ(report.jobs[2].termSignal, 0);
+}
+
+TEST(Report, V3StillParsesWithShardBackfill)
+{
+    // A hand-written schema-v3 document: specHash/cached/exitCode/
+    // signal are present, but no shard block and no jobsSkipped —
+    // parsing must backfill shard 0 of 1 with nothing skipped.
+    const char *v3 = R"({
+      "schema": "chex-campaign-report-v3",
+      "seed": 5,
+      "workers": 2,
+      "summary": {
+        "jobsRun": 2, "jobsFailed": 1, "jobsCached": 1,
+        "wallSeconds": 1.0, "serialSeconds": 1.5,
+        "speedupVsSerial": 1.5,
+        "totalCycles": 200, "totalUops": 300, "aggregateIpc": 1.5
+      },
+      "jobs": [
+        {"index": 0, "label": "mcf/baseline", "profile": "mcf",
+         "variant": "baseline", "seed": 9, "repetition": 0,
+         "specHash": "00000000deadbeef", "status": "ok",
+         "cached": true, "attempts": 0, "wallSeconds": 0.0,
+         "result": {"exited": true, "cycles": 200, "uops": 300,
+                    "ipc": 1.5}},
+        {"index": 1, "label": "lbm/baseline", "profile": "lbm",
+         "variant": "baseline", "seed": 10, "repetition": 0,
+         "specHash": "0000000000001234", "status": "failed",
+         "cached": false, "attempts": 1, "wallSeconds": 0.5,
+         "attemptSeconds": [0.5], "error": "exited with status 7",
+         "cause": "nonzero-exit", "exitStatus": 7, "exitCode": 7,
+         "signal": 0}
+      ]
+    })";
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(v3, doc, &err)) << err;
+
+    driver::CampaignReport report;
+    ASSERT_TRUE(driver::fromJson(doc, report, &err)) << err;
+    EXPECT_EQ(report.shardIndex, 0u);
+    EXPECT_EQ(report.shardCount, 1u);
+    EXPECT_EQ(report.jobsSkipped, 0u);
+    ASSERT_EQ(report.jobs.size(), 2u);
+
+    EXPECT_FALSE(report.jobs[0].skipped);
+    EXPECT_TRUE(report.jobs[0].cached);
+    EXPECT_EQ(report.jobs[0].specHash, 0xdeadbeefull);
+    EXPECT_EQ(report.jobs[0].run.cycles, 200u);
+
+    EXPECT_FALSE(report.jobs[1].skipped);
+    EXPECT_TRUE(report.jobs[1].failed);
+    EXPECT_EQ(report.jobs[1].cause,
+              driver::FailureCause::NonzeroExit);
+    EXPECT_EQ(report.jobs[1].exitCode, 7);
 }
 
 TEST(Report, UnknownFailureCauseFallsBackWithWarning)
@@ -978,6 +1046,272 @@ TEST(Cache, BodyOverrideJobsNeverHitTheCache)
     EXPECT_EQ(second.jobsCached, 1u);
 }
 
+/** Run eightJobs() as @p count shards and return the shard reports. */
+std::vector<driver::CampaignReport>
+runSharded(const std::vector<driver::JobSpec> &jobs, unsigned count,
+           uint64_t seed)
+{
+    std::vector<driver::CampaignReport> shards;
+    for (unsigned i = 0; i < count; ++i) {
+        driver::CampaignOptions opts;
+        opts.workers = 2;
+        opts.seed = seed;
+        opts.shardIndex = i;
+        opts.shardCount = count;
+        shards.push_back(driver::runCampaign(jobs, opts));
+    }
+    return shards;
+}
+
+TEST(Shard, OutOfShardJobsBecomeSkippedPlaceholders)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = 7;
+    opts.shardIndex = 1;
+    opts.shardCount = 2;
+    size_t done_calls = 0;
+    opts.onJobDone = [&](const driver::JobResult &jr) {
+        EXPECT_FALSE(jr.skipped); // placeholders never reach the hook
+        ++done_calls;
+    };
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+
+    EXPECT_EQ(report.shardIndex, 1u);
+    EXPECT_EQ(report.shardCount, 2u);
+    EXPECT_EQ(report.jobsSkipped, 4u);
+    EXPECT_EQ(report.jobsRun, 4u);
+    EXPECT_EQ(done_calls, 4u);
+    ASSERT_EQ(report.jobs.size(), jobs.size());
+    for (size_t i = 0; i < report.jobs.size(); ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(report.jobs[i].index, i);
+        EXPECT_EQ(report.jobs[i].skipped, i % 2 != 1);
+        if (report.jobs[i].skipped) {
+            // Identity fields survive for merge validation; nothing
+            // was simulated.
+            EXPECT_EQ(report.jobs[i].label, jobs[i].label);
+            EXPECT_NE(report.jobs[i].seed, 0u);
+            EXPECT_EQ(report.jobs[i].attempts, 0u);
+            EXPECT_FALSE(report.jobs[i].cached);
+            EXPECT_EQ(report.jobs[i].run.cycles, 0u);
+        }
+    }
+}
+
+TEST(Shard, UnionOfShardsIsBitIdenticalToUnsharded)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = 7;
+    driver::CampaignReport whole = driver::runCampaign(jobs, opts);
+    ASSERT_EQ(whole.jobsFailed, 0u);
+
+    std::vector<driver::CampaignReport> shards =
+        runSharded(jobs, 3, 7);
+
+    driver::CampaignReport merged;
+    std::string err;
+    ASSERT_TRUE(driver::mergeReports(shards, merged, &err)) << err;
+
+    EXPECT_EQ(merged.seed, whole.seed);
+    EXPECT_EQ(merged.shardIndex, 0u);
+    EXPECT_EQ(merged.shardCount, 1u);
+    EXPECT_EQ(merged.jobsSkipped, 0u);
+    EXPECT_EQ(merged.jobsRun, whole.jobsRun);
+    EXPECT_EQ(merged.jobsFailed, whole.jobsFailed);
+    EXPECT_EQ(merged.totalCycles, whole.totalCycles);
+    EXPECT_EQ(merged.totalUops, whole.totalUops);
+    ASSERT_EQ(merged.jobs.size(), whole.jobs.size());
+    for (size_t i = 0; i < whole.jobs.size(); ++i) {
+        SCOPED_TRACE(whole.jobs[i].label);
+        EXPECT_FALSE(merged.jobs[i].skipped);
+        EXPECT_EQ(merged.jobs[i].index, i);
+        EXPECT_EQ(merged.jobs[i].seed, whole.jobs[i].seed);
+        EXPECT_EQ(merged.jobs[i].specHash, whole.jobs[i].specHash);
+        EXPECT_EQ(merged.jobs[i].run.cycles,
+                  whole.jobs[i].run.cycles);
+        EXPECT_EQ(merged.jobs[i].run.uops, whole.jobs[i].run.uops);
+        EXPECT_EQ(merged.jobs[i].run.macroOps,
+                  whole.jobs[i].run.macroOps);
+        EXPECT_DOUBLE_EQ(merged.jobs[i].run.ipc,
+                         whole.jobs[i].run.ipc);
+    }
+}
+
+TEST(Shard, ShardReportJsonRoundTrips)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = 3;
+    opts.shardIndex = 0;
+    opts.shardCount = 2;
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+
+    std::ostringstream ss;
+    driver::writeReport(report, ss);
+
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v4");
+    EXPECT_EQ(doc.at("shard").at("index").number(), 0.0);
+    EXPECT_EQ(doc.at("shard").at("count").number(), 2.0);
+    EXPECT_EQ(doc.at("summary").at("jobsSkipped").number(), 4.0);
+    const json::Value &jarr = doc.at("jobs");
+    ASSERT_EQ(jarr.size(), jobs.size());
+    for (size_t i = 0; i < jarr.size(); ++i) {
+        SCOPED_TRACE(i);
+        const json::Value &job = jarr.at(i);
+        EXPECT_EQ(job.at("status").str(),
+                  i % 2 == 0 ? "ok" : "skipped");
+        if (i % 2 != 0)
+            EXPECT_EQ(job.find("result"), nullptr);
+    }
+
+    driver::CampaignReport back;
+    ASSERT_TRUE(driver::fromJson(doc, back, &err)) << err;
+    EXPECT_EQ(back.shardIndex, 0u);
+    EXPECT_EQ(back.shardCount, 2u);
+    EXPECT_EQ(back.jobsSkipped, 4u);
+    ASSERT_EQ(back.jobs.size(), report.jobs.size());
+    for (size_t i = 0; i < back.jobs.size(); ++i) {
+        EXPECT_EQ(back.jobs[i].skipped, report.jobs[i].skipped);
+        EXPECT_EQ(back.jobs[i].seed, report.jobs[i].seed);
+        EXPECT_EQ(back.jobs[i].run.cycles, report.jobs[i].run.cycles);
+    }
+}
+
+TEST(Shard, FromJsonRejectsBadShardGeometry)
+{
+    const char *base = R"({
+      "schema": "chex-campaign-report-v4",
+      "seed": 1, "workers": 1,
+      "shard": {"index": %s, "count": %s},
+      "summary": {"jobsRun": 0, "jobsFailed": 0,
+                  "wallSeconds": 0, "serialSeconds": 0,
+                  "speedupVsSerial": 0, "totalCycles": 0,
+                  "totalUops": 0, "aggregateIpc": 0},
+      "jobs": []
+    })";
+    for (auto [index, count] : {std::pair<const char *, const char *>
+                                    {"2", "2"},
+                                {"0", "0"}}) {
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), base, index, count);
+        json::Value doc;
+        ASSERT_TRUE(json::Value::parse(buf, doc, nullptr));
+        driver::CampaignReport report;
+        std::string err;
+        EXPECT_FALSE(driver::fromJson(doc, report, &err));
+        EXPECT_NE(err.find("shard"), std::string::npos) << err;
+    }
+}
+
+TEST(Merge, RejectsMismatchedSeeds)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    std::vector<driver::CampaignReport> shards =
+        runSharded(jobs, 2, 7);
+    driver::CampaignOptions other;
+    other.workers = 2;
+    other.seed = 8; // different campaign seed
+    other.shardIndex = 1;
+    other.shardCount = 2;
+    shards[1] = driver::runCampaign(jobs, other);
+
+    driver::CampaignReport merged;
+    std::string err;
+    EXPECT_FALSE(driver::mergeReports(shards, merged, &err));
+    EXPECT_NE(err.find("seed"), std::string::npos) << err;
+}
+
+TEST(Merge, RejectsOverlappingShards)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    std::vector<driver::CampaignReport> shards =
+        runSharded(jobs, 2, 7);
+    shards[1] = shards[0]; // the same shard twice
+
+    driver::CampaignReport merged;
+    std::string err;
+    EXPECT_FALSE(driver::mergeReports(shards, merged, &err));
+    EXPECT_NE(err.find("overlap"), std::string::npos) << err;
+}
+
+TEST(Merge, RejectsIncompleteShardSet)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    std::vector<driver::CampaignReport> shards =
+        runSharded(jobs, 3, 7);
+    shards.pop_back(); // shard 2 of 3 missing
+
+    driver::CampaignReport merged;
+    std::string err;
+    EXPECT_FALSE(driver::mergeReports(shards, merged, &err));
+    EXPECT_NE(err.find("incomplete"), std::string::npos) << err;
+}
+
+TEST(Merge, RejectsDisagreeingJobIdentity)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    std::vector<driver::CampaignReport> shards =
+        runSharded(jobs, 2, 7);
+    // The shards were really run against different job lists: the
+    // identity fields of any common index disagree.
+    shards[1].jobs[0].specHash ^= 1;
+
+    driver::CampaignReport merged;
+    std::string err;
+    EXPECT_FALSE(driver::mergeReports(shards, merged, &err));
+    EXPECT_NE(err.find("options"), std::string::npos) << err;
+}
+
+TEST(Merge, RejectsEmptyInput)
+{
+    driver::CampaignReport merged;
+    std::string err;
+    EXPECT_FALSE(driver::mergeReports({}, merged, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Merge, MergedReportSatisfiesTheCache)
+{
+    std::vector<driver::JobSpec> jobs = eightJobs();
+    std::vector<driver::CampaignReport> shards =
+        runSharded(jobs, 2, 7);
+
+    driver::CampaignReport merged;
+    std::string err;
+    ASSERT_TRUE(driver::mergeReports(shards, merged, &err)) << err;
+
+    // Round-trip through JSON exactly like `merge --out` + `run
+    // --cache` would, then re-run unsharded against the cache.
+    std::ostringstream ss;
+    driver::writeReport(merged, ss);
+    json::Value doc;
+    ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
+    driver::CampaignReport prior;
+    ASSERT_TRUE(driver::fromJson(doc, prior, &err)) << err;
+
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = 7;
+    opts.cacheReports.push_back(prior);
+    driver::CampaignReport second = driver::runCampaign(jobs, opts);
+
+    EXPECT_EQ(second.jobsCached, jobs.size());
+    EXPECT_EQ(second.jobsFailed, 0u);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(second.jobs[i].label);
+        EXPECT_TRUE(second.jobs[i].cached);
+        EXPECT_EQ(second.jobs[i].run.cycles, merged.jobs[i].run.cycles);
+    }
+}
+
 TEST(BenchEnv, GeomeanSkipsNonPositiveValues)
 {
     EXPECT_DOUBLE_EQ(bench::geomean({2.0, 8.0}), 4.0);
@@ -1028,6 +1362,65 @@ TEST(BenchEnv, KnobParsingValidatesAndClamps)
     EXPECT_FALSE(bench::benchIsolate());
     unsetenv("CHEX_BENCH_ISOLATE");
     EXPECT_FALSE(bench::benchIsolate());
+}
+
+TEST(BenchEnv, ParseShardSpec)
+{
+    unsigned index = 99, count = 99;
+    std::string err;
+    EXPECT_TRUE(driver::parseShardSpec("0/2", index, count, &err));
+    EXPECT_EQ(index, 0u);
+    EXPECT_EQ(count, 2u);
+    EXPECT_TRUE(driver::parseShardSpec("1/2", index, count));
+    EXPECT_EQ(index, 1u);
+    EXPECT_EQ(count, 2u);
+    EXPECT_TRUE(driver::parseShardSpec("0/1", index, count));
+
+    // Rejections must not clobber the outputs.
+    index = 1;
+    count = 2;
+    for (const char *bad : {"", "0", "/", "0/", "/2", "x/2", "0/y",
+                            "0/2x", "-1/2", "1/-2", "0/0", "2/2",
+                            "3/2", "0 /2"}) {
+        SCOPED_TRACE(bad);
+        err.clear();
+        EXPECT_FALSE(
+            driver::parseShardSpec(bad, index, count, &err));
+        EXPECT_FALSE(err.empty());
+        EXPECT_EQ(index, 1u);
+        EXPECT_EQ(count, 2u);
+    }
+}
+
+TEST(BenchEnv, ShardKnobParsesAndFallsBackUnsharded)
+{
+    setenv("CHEX_BENCH_SHARD", "1/3", 1);
+    driver::EnvOptions env = driver::optionsFromEnv();
+    EXPECT_EQ(env.shardIndex, 1u);
+    EXPECT_EQ(env.shardCount, 3u);
+
+    // Garbage and out-of-range specs warn and run unsharded rather
+    // than silently simulating the wrong subset.
+    for (const char *bad : {"nonsense", "3/3", "1", "0/0"}) {
+        SCOPED_TRACE(bad);
+        setenv("CHEX_BENCH_SHARD", bad, 1);
+        env = driver::optionsFromEnv();
+        EXPECT_EQ(env.shardIndex, 0u);
+        EXPECT_EQ(env.shardCount, 1u);
+    }
+
+    unsetenv("CHEX_BENCH_SHARD");
+    env = driver::optionsFromEnv();
+    EXPECT_EQ(env.shardIndex, 0u);
+    EXPECT_EQ(env.shardCount, 1u);
+
+    // applyTo carries the env knobs onto CampaignOptions.
+    setenv("CHEX_BENCH_SHARD", "2/4", 1);
+    driver::CampaignOptions opts;
+    driver::optionsFromEnv().applyTo(opts);
+    EXPECT_EQ(opts.shardIndex, 2u);
+    EXPECT_EQ(opts.shardCount, 4u);
+    unsetenv("CHEX_BENCH_SHARD");
 }
 
 TEST(Report, ViolationRecordsSerialized)

@@ -1,20 +1,33 @@
 /**
  * @file
- * chex-campaign: the command-line front end of the campaign driver.
- * Runs a named set of paper profiles across enforcement variants on
- * the worker pool and writes the JSON campaign report.
+ * chex-campaign: the command-line front end of the campaign driver,
+ * as two subcommands sharing one flag parser (flag_parser.hh):
  *
- *   chex-campaign --profiles spec --variants baseline,ucode-pred \
- *                 --jobs 8 --seed 7 --reps 3 --out report.json
+ *   chex-campaign run    — execute a campaign (or one shard of it)
+ *                          and write the JSON report
+ *   chex-campaign merge  — recombine shard reports into the one
+ *                          report an unsharded run would produce
  *
- * Incremental re-runs pass previous reports as a result cache:
+ * A bare invocation (flags with no subcommand) keeps meaning `run`,
+ * so every pre-subcommand command line still works.
  *
- *   chex-campaign ... --cache report.json --out report2.json
+ *   chex-campaign run --profiles spec --variants baseline,ucode-pred \
+ *                     --jobs 8 --seed 7 --reps 3 --out report.json
+ *
+ * Scale-out across machines shards by job index and merges:
+ *
+ *   chex-campaign run ... --shard 0/2 --out shard0.json   # machine A
+ *   chex-campaign run ... --shard 1/2 --out shard1.json   # machine B
+ *   chex-campaign merge --out report.json shard0.json shard1.json
+ *
+ * Incremental re-runs pass previous reports (merged ones included)
+ * as a result cache:
+ *
+ *   chex-campaign run ... --cache report.json --out report2.json
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -24,7 +37,10 @@
 
 #include "base/logging.hh"
 #include "driver/campaign.hh"
+#include "driver/env.hh"
+#include "driver/merge.hh"
 #include "driver/report.hh"
+#include "flag_parser.hh"
 #include "workload/profiles.hh"
 
 using namespace chex;
@@ -59,44 +75,19 @@ splitCommas(const std::string &list)
     return out;
 }
 
-void
-usage(const char *argv0)
+/** Strict positive/non-negative integer parses for flag handlers. */
+bool
+parseUint(const std::string &s, uint64_t &out)
 {
-    std::printf(
-        "usage: %s [options]\n"
-        "\n"
-        "Run a simulation campaign (profiles x variants x reps) on a\n"
-        "worker thread pool and emit a JSON report.\n"
-        "\n"
-        "  --profiles LIST  comma-separated profile names, or one of\n"
-        "                   'spec', 'parsec', 'all' (default: spec)\n"
-        "  --variants LIST  comma-separated variant tokens, or 'all'\n"
-        "                   (default: baseline,ucode-pred)\n"
-        "  --jobs N         worker threads (default: all cores)\n"
-        "  --seed S         campaign seed (default: 1)\n"
-        "  --reps R         repetitions per point, each with a seed\n"
-        "                   derived from (seed, job index) (default: 1)\n"
-        "  --scale K        divide workload iteration counts by K\n"
-        "                   (default: $CHEX_BENCH_SCALE or 1)\n"
-        "  --retries N      attempts per job before it is recorded\n"
-        "                   as failed (default: 1)\n"
-        "  --isolate        fork each job into its own child process\n"
-        "                   so a simulator panic/crash is recorded as\n"
-        "                   a failed job (cause: signal) instead of\n"
-        "                   killing the campaign\n"
-        "  --timeout SECS   per-attempt wall-clock watchdog; a stuck\n"
-        "                   child is killed and recorded as failed\n"
-        "                   (cause: timeout). Implies --isolate\n"
-        "  --cache FILE     load a previous campaign report as a\n"
-        "                   result cache (repeatable; also seeded\n"
-        "                   from $CHEX_BENCH_CACHE, colon-separated).\n"
-        "                   Jobs whose spec hash and seed match a\n"
-        "                   successful prior job are not re-simulated\n"
-        "  --no-cache       ignore --cache and $CHEX_BENCH_CACHE\n"
-        "  --out FILE       write the JSON report to FILE\n"
-        "  --quiet          suppress per-job progress lines\n"
-        "  --list           list profiles and variant tokens, exit\n",
-        argv0);
+    if (s.empty() || s.find('-') != std::string::npos)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || !end || *end != '\0')
+        return false;
+    out = v;
+    return true;
 }
 
 void
@@ -112,104 +103,144 @@ listChoices()
                     variantName(kind));
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runMain(const char *argv0, int argc, char **argv, int begin,
+        bool bare)
 {
+    // The bench harness env knobs double as CLI defaults.
+    driver::EnvOptions env = driver::optionsFromEnv();
+
     std::string profiles_arg = "spec";
     std::string variants_arg = "baseline,ucode-pred";
     std::string out_path;
-    unsigned jobs = 0;
+    uint64_t jobs = env.jobs;
     uint64_t seed = 1;
-    unsigned reps = 1;
-    uint64_t scale = 1;
-    unsigned retries = 1;
-    bool isolate = false;
-    double timeout = 0.0;
+    uint64_t reps = 1;
+    uint64_t scale = env.scale;
+    uint64_t retries = 1;
+    bool isolate = env.isolate;
+    double timeout = env.timeoutSeconds;
+    unsigned shard_index = env.shardIndex;
+    unsigned shard_count = env.shardCount;
     bool quiet = false;
-    std::vector<std::string> cache_paths;
+    std::vector<std::string> cache_paths = env.cachePaths;
     bool no_cache = false;
+    bool list_only = false;
 
-    if (const char *s = std::getenv("CHEX_BENCH_SCALE")) {
-        uint64_t v = std::strtoull(s, nullptr, 10);
-        if (v > 0)
-            scale = v;
+    cli::FlagParser parser(
+        argv0, bare ? "" : "run",
+        "Run a simulation campaign (profiles x variants x reps) on "
+        "a\nworker thread pool and emit a JSON report "
+        "(chex-campaign-report-v4).");
+    parser.add("--profiles", "LIST",
+               "comma-separated profile names, or one of\n"
+               "'spec', 'parsec', 'all' (default: spec)",
+               [&](const std::string &v) {
+                   profiles_arg = v;
+                   return true;
+               });
+    parser.add("--variants", "LIST",
+               "comma-separated variant tokens, or 'all'\n"
+               "(default: baseline,ucode-pred)",
+               [&](const std::string &v) {
+                   variants_arg = v;
+                   return true;
+               });
+    parser.add("--jobs", "N",
+               "worker threads (default: $CHEX_BENCH_JOBS or all "
+               "cores)",
+               [&](const std::string &v) {
+                   return parseUint(v, jobs);
+               });
+    parser.add("--seed", "S", "campaign seed (default: 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, seed);
+               });
+    parser.add("--reps", "R",
+               "repetitions per point, each with a seed\n"
+               "derived from (seed, job index) (default: 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, reps);
+               });
+    parser.add("--scale", "K",
+               "divide workload iteration counts by K\n"
+               "(default: $CHEX_BENCH_SCALE or 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, scale);
+               });
+    parser.add("--retries", "N",
+               "attempts per job before it is recorded\n"
+               "as failed (default: 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, retries);
+               });
+    parser.add("--isolate",
+               "fork each job into its own child process\n"
+               "so a simulator panic/crash is recorded as\n"
+               "a failed job (cause: signal) instead of\n"
+               "killing the campaign",
+               [&]() { isolate = true; });
+    parser.add("--timeout", "SECS",
+               "per-attempt wall-clock watchdog; a stuck\n"
+               "child is killed and recorded as failed\n"
+               "(cause: timeout). Implies --isolate",
+               [&](const std::string &v) {
+                   char *end = nullptr;
+                   double t = std::strtod(v.c_str(), &end);
+                   if (!end || *end != '\0' || !(t >= 0.0))
+                       return false;
+                   timeout = t;
+                   return true;
+               });
+    parser.add("--shard", "I/N",
+               "run only shard I of N (jobs with\n"
+               "index % N == I); other jobs appear in the\n"
+               "report as 'skipped' placeholders for the\n"
+               "merge subcommand (default: $CHEX_BENCH_SHARD\n"
+               "or 0/1)",
+               [&](const std::string &v) {
+                   std::string err;
+                   if (!driver::parseShardSpec(v, shard_index,
+                                               shard_count, &err)) {
+                       std::fprintf(stderr, "%s: --shard %s: %s\n",
+                                    argv0, v.c_str(), err.c_str());
+                       return false;
+                   }
+                   return true;
+               });
+    parser.add("--cache", "FILE",
+               "load a previous campaign report as a\n"
+               "result cache (repeatable; also seeded\n"
+               "from $CHEX_BENCH_CACHE, colon-separated).\n"
+               "Jobs whose spec hash and seed match a\n"
+               "successful prior job are not re-simulated",
+               [&](const std::string &v) {
+                   cache_paths.push_back(v);
+                   return true;
+               });
+    parser.add("--no-cache",
+               "ignore --cache and $CHEX_BENCH_CACHE",
+               [&]() { no_cache = true; });
+    parser.add("--out", "FILE", "write the JSON report to FILE",
+               [&](const std::string &v) {
+                   out_path = v;
+                   return true;
+               });
+    parser.add("--quiet", "suppress per-job progress lines",
+               [&]() { quiet = true; });
+    parser.add("--list", "list profiles and variant tokens, exit",
+               [&]() { list_only = true; });
+
+    switch (parser.parse(argc, argv, begin)) {
+      case cli::ParseStatus::Ok: break;
+      case cli::ParseStatus::ExitOk: return 0;
+      case cli::ParseStatus::ExitUsage: return 2;
     }
-    // The bench harness env knobs double as CLI defaults.
-    if (const char *s = std::getenv("CHEX_BENCH_ISOLATE"))
-        isolate = *s && std::strcmp(s, "0") != 0;
-    if (const char *s = std::getenv("CHEX_BENCH_TIMEOUT")) {
-        double v = std::strtod(s, nullptr);
-        if (v > 0.0)
-            timeout = v;
-    }
-    if (const char *s = std::getenv("CHEX_BENCH_CACHE")) {
-        std::stringstream ss(s);
-        std::string path;
-        while (std::getline(ss, path, ':'))
-            if (!path.empty())
-                cache_paths.push_back(path);
+    if (list_only) {
+        listChoices();
+        return 0;
     }
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&](const char *opt) -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
-                             opt);
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--profiles") {
-            profiles_arg = next("--profiles");
-        } else if (arg == "--variants") {
-            variants_arg = next("--variants");
-        } else if (arg == "--jobs") {
-            jobs = std::strtoul(next("--jobs"), nullptr, 10);
-        } else if (arg == "--seed") {
-            seed = std::strtoull(next("--seed"), nullptr, 10);
-        } else if (arg == "--reps") {
-            reps = std::strtoul(next("--reps"), nullptr, 10);
-        } else if (arg == "--scale") {
-            scale = std::strtoull(next("--scale"), nullptr, 10);
-        } else if (arg == "--retries") {
-            retries = std::strtoul(next("--retries"), nullptr, 10);
-        } else if (arg == "--isolate") {
-            isolate = true;
-        } else if (arg == "--timeout") {
-            const char *val = next("--timeout");
-            char *end = nullptr;
-            timeout = std::strtod(val, &end);
-            if (!end || *end != '\0' || !(timeout >= 0.0)) {
-                std::fprintf(stderr,
-                             "%s: --timeout needs a non-negative "
-                             "number of seconds, got '%s'\n",
-                             argv[0], val);
-                return 2;
-            }
-        } else if (arg == "--cache") {
-            cache_paths.push_back(next("--cache"));
-        } else if (arg == "--no-cache") {
-            no_cache = true;
-        } else if (arg == "--out") {
-            out_path = next("--out");
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else if (arg == "--list") {
-            listChoices();
-            return 0;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else {
-            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
-                         arg.c_str());
-            usage(argv[0]);
-            return 2;
-        }
-    }
     if (reps == 0)
         reps = 1;
     if (scale == 0)
@@ -218,7 +249,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "%s: --timeout requires process isolation; "
                      "enabling --isolate\n",
-                     argv[0]);
+                     argv0);
         isolate = true;
     }
 
@@ -248,14 +279,14 @@ main(int argc, char **argv)
             if (it == variantTokens().end()) {
                 std::fprintf(stderr,
                              "%s: unknown variant '%s' (see --list)\n",
-                             argv[0], token.c_str());
+                             argv0, token.c_str());
                 return 2;
             }
             variants.push_back(it->second);
         }
     }
     if (profiles.empty() || variants.empty()) {
-        std::fprintf(stderr, "%s: nothing to run\n", argv[0]);
+        std::fprintf(stderr, "%s: nothing to run\n", argv0);
         return 2;
     }
 
@@ -265,15 +296,17 @@ main(int argc, char **argv)
     std::vector<driver::JobSpec> specs;
     for (const BenchmarkProfile &p : profiles) {
         for (VariantKind kind : variants) {
-            for (unsigned r = 0; r < reps; ++r) {
+            for (uint64_t r = 0; r < reps; ++r) {
                 driver::JobSpec spec;
                 spec.label = p.name + std::string("/") +
                              variantName(kind);
                 if (reps > 1)
-                    spec.label += csprintf("#%u", r);
+                    spec.label += csprintf("#%llu",
+                                           static_cast<unsigned long
+                                                       long>(r));
                 spec.profile = p;
                 spec.config.variant.kind = kind;
-                spec.repetition = r;
+                spec.repetition = static_cast<unsigned>(r);
                 if (reps == 1)
                     spec.workloadSeed = seed;
                 specs.push_back(std::move(spec));
@@ -287,47 +320,46 @@ main(int argc, char **argv)
     if (!out_path.empty()) {
         out.open(out_path);
         if (!out) {
-            std::fprintf(stderr, "%s: cannot write '%s'\n", argv[0],
+            std::fprintf(stderr, "%s: cannot write '%s'\n", argv0,
                          out_path.c_str());
             return 1;
         }
     }
 
     driver::CampaignOptions opts;
-    opts.workers = jobs;
+    opts.workers = static_cast<unsigned>(jobs);
     opts.seed = seed;
-    opts.maxAttempts = retries;
+    opts.maxAttempts = static_cast<unsigned>(retries ? retries : 1);
     opts.isolation = isolate;
     opts.timeoutSeconds = timeout;
+    opts.shardIndex = shard_index;
+    opts.shardCount = shard_count;
 
-    // Load the result cache: every prior report is parsed with the
-    // same fromJson path the isolated workers use, so v1/v2/v3 files
-    // all load (only v3 carries spec hashes and can produce hits).
-    // An unreadable cache file is a hard error — the user explicitly
+    // Load the result cache through the shared loader. An
+    // unreadable cache file is a hard error — the user explicitly
     // asked for it, and silently re-simulating everything would be
     // the costliest possible way to honor that request.
     if (no_cache)
         cache_paths.clear();
     for (const std::string &path : cache_paths) {
-        std::ifstream in(path);
-        if (!in) {
-            std::fprintf(stderr, "%s: cannot read cache '%s'\n",
-                         argv[0], path.c_str());
-            return 2;
-        }
-        std::stringstream ss;
-        ss << in.rdbuf();
-        json::Value doc;
-        std::string err;
         driver::CampaignReport prior;
-        if (!json::Value::parse(ss.str(), doc, &err) ||
-            !driver::fromJson(doc, prior, &err)) {
-            std::fprintf(stderr, "%s: cache '%s' is not a campaign "
-                         "report: %s\n",
-                         argv[0], path.c_str(), err.c_str());
+        std::string err;
+        if (!driver::loadReportFile(path, prior, &err)) {
+            std::fprintf(stderr, "%s: cache %s\n", argv0,
+                         err.c_str());
             return 2;
         }
         opts.cacheReports.push_back(std::move(prior));
+    }
+
+    size_t in_shard = 0;
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (i % shard_count == shard_index)
+            ++in_shard;
+    if (shard_count > 1) {
+        std::printf("shard %u/%u: %zu of %zu jobs in shard\n",
+                    shard_index, shard_count, in_shard,
+                    specs.size());
     }
 
     size_t done = 0;
@@ -336,19 +368,19 @@ main(int argc, char **argv)
             ++done;
             if (jr.failed) {
                 std::printf("[%3zu/%zu] %-40s FAILED [%s] (%s)\n",
-                            done, specs.size(), jr.label.c_str(),
+                            done, in_shard, jr.label.c_str(),
                             driver::failureCauseName(jr.cause),
                             jr.error.c_str());
             } else if (jr.cached) {
                 std::printf("[%3zu/%zu] %-40s %10lu cycles  ipc %.2f"
                             "  (cached)\n",
-                            done, specs.size(), jr.label.c_str(),
+                            done, in_shard, jr.label.c_str(),
                             static_cast<unsigned long>(jr.run.cycles),
                             jr.run.ipc);
             } else {
                 std::printf("[%3zu/%zu] %-40s %10lu cycles  ipc %.2f"
                             "  %.2fs\n",
-                            done, specs.size(), jr.label.c_str(),
+                            done, in_shard, jr.label.c_str(),
                             static_cast<unsigned long>(jr.run.cycles),
                             jr.run.ipc, jr.wallSeconds);
             }
@@ -358,13 +390,14 @@ main(int argc, char **argv)
 
     driver::CampaignReport report = driver::runCampaign(specs, opts);
 
-    std::printf("\ncampaign: %zu jobs (%zu cached, %zu failed) on "
-                "%u workers, %.2fs wall (serial %.2fs, speedup "
-                "%.2fx), aggregate ipc %.2f\n",
+    std::printf("\ncampaign: %zu jobs (%zu cached, %zu failed, "
+                "%zu out of shard) on %u workers, %.2fs wall "
+                "(serial %.2fs, speedup %.2fx), aggregate ipc "
+                "%.2f\n",
                 report.jobsRun, report.jobsCached, report.jobsFailed,
-                report.workers, report.wallSeconds,
-                report.serialSeconds, report.speedup,
-                report.aggregateIpc);
+                report.jobsSkipped, report.workers,
+                report.wallSeconds, report.serialSeconds,
+                report.speedup, report.aggregateIpc);
 
     if (out.is_open()) {
         driver::writeReport(report, out);
@@ -372,4 +405,136 @@ main(int argc, char **argv)
     }
 
     return report.jobsFailed ? 1 : 0;
+}
+
+int
+mergeMain(const char *argv0, int argc, char **argv, int begin)
+{
+    std::string out_path;
+    bool quiet = false;
+
+    cli::FlagParser parser(
+        argv0, "merge",
+        "Merge the per-shard reports of one sharded campaign into "
+        "the\ncomplete report an unsharded run would have produced."
+        "\nThe shards must agree on campaign seed and options, and "
+        "must\ncover every job index exactly once.");
+    parser.positionals("SHARD-REPORT...",
+                       "shard report files written by `run --shard` "
+                       "(any order)");
+    parser.add("--out", "FILE",
+               "write the merged JSON report to FILE\n"
+               "(default: stdout)",
+               [&](const std::string &v) {
+                   out_path = v;
+                   return true;
+               });
+    parser.add("--quiet", "suppress the merge summary line",
+               [&]() { quiet = true; });
+
+    switch (parser.parse(argc, argv, begin)) {
+      case cli::ParseStatus::Ok: break;
+      case cli::ParseStatus::ExitOk: return 0;
+      case cli::ParseStatus::ExitUsage: return 2;
+    }
+
+    const std::vector<std::string> &paths = parser.positionalArgs();
+    if (paths.empty()) {
+        std::fprintf(stderr, "%s merge: no shard reports given\n",
+                     argv0);
+        parser.usage(stderr);
+        return 2;
+    }
+
+    std::vector<driver::CampaignReport> shards;
+    shards.reserve(paths.size());
+    for (const std::string &path : paths) {
+        driver::CampaignReport shard;
+        std::string err;
+        if (!driver::loadReportFile(path, shard, &err)) {
+            std::fprintf(stderr, "%s merge: %s\n", argv0,
+                         err.c_str());
+            return 2;
+        }
+        shards.push_back(std::move(shard));
+    }
+
+    driver::CampaignReport merged;
+    std::string err;
+    if (!driver::mergeReports(shards, merged, &err)) {
+        std::fprintf(stderr, "%s merge: %s\n", argv0, err.c_str());
+        return 2;
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr, "%s merge: cannot write '%s'\n",
+                         argv0, out_path.c_str());
+            return 1;
+        }
+        driver::writeReport(merged, out);
+    } else {
+        driver::writeReport(merged, std::cout);
+    }
+
+    if (!quiet) {
+        // When the JSON itself goes to stdout, keep it parseable and
+        // put the human summary on stderr.
+        FILE *info = out_path.empty() ? stderr : stdout;
+        std::fprintf(info,
+                     "merged %zu shard reports: %zu jobs (%zu "
+                     "cached, %zu failed), %.2fs wall (serial "
+                     "%.2fs), aggregate ipc %.2f\n",
+                     shards.size(), merged.jobsRun,
+                     merged.jobsCached, merged.jobsFailed,
+                     merged.wallSeconds, merged.serialSeconds,
+                     merged.aggregateIpc);
+        if (!out_path.empty())
+            std::fprintf(info, "report: %s\n", out_path.c_str());
+    }
+
+    return merged.jobsFailed ? 1 : 0;
+}
+
+void
+globalUsage(const char *argv0, FILE *out)
+{
+    std::fprintf(
+        out,
+        "usage: %s <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  run       run a simulation campaign (the default: a bare\n"
+        "            `%s [options]` invocation means `run`)\n"
+        "  merge     merge shard reports from `run --shard I/N`\n"
+        "\n"
+        "run '%s <command> --help' for per-command options\n",
+        argv0, argv0, argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 1) {
+        std::string first = argv[1];
+        if (first == "run")
+            return runMain(argv[0], argc, argv, 2, false);
+        if (first == "merge")
+            return mergeMain(argv[0], argc, argv, 2);
+        if (first == "help" || first == "--help" || first == "-h") {
+            globalUsage(argv[0], stdout);
+            return 0;
+        }
+        if (!first.empty() && first[0] != '-') {
+            std::fprintf(stderr, "%s: unknown command '%s'\n",
+                         argv[0], first.c_str());
+            globalUsage(argv[0], stderr);
+            return 2;
+        }
+    }
+    // Back-compat: flags with no subcommand mean `run`.
+    return runMain(argv[0], argc, argv, 1, true);
 }
