@@ -9,7 +9,10 @@
  * CHEX_BENCH_JOBS caps the pool width, CHEX_BENCH_ISOLATE /
  * CHEX_BENCH_TIMEOUT fork and watchdog each job, CHEX_BENCH_CACHE
  * points at previous campaign reports whose matching successful jobs
- * are reused instead of re-simulated, and CHEX_BENCH_SHARD=I/N runs
+ * are reused instead of re-simulated, CHEX_BENCH_SNAPSHOT points at
+ * a snapshot bundle (chex-campaign snapshot) whose matching warmed
+ * machine states are restored instead of re-simulating each job's
+ * warm-up prefix, and CHEX_BENCH_SHARD=I/N runs
  * only every Nth sweep cell (the resulting figures are partial; the
  * complete-figure path is to shard via the CLI, merge, and feed the
  * merged report back through CHEX_BENCH_CACHE).
@@ -21,6 +24,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -30,6 +34,7 @@
 #include "driver/env.hh"
 #include "driver/report.hh"
 #include "sim/system.hh"
+#include "snapshot/snapshot.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
 
@@ -127,9 +132,35 @@ benchCacheReports()
 }
 
 /**
+ * Warm-state bundle from $CHEX_BENCH_SNAPSHOT (a file written by
+ * `chex-campaign snapshot`): sweep cells whose spec hash matches a
+ * bundle entry restore the warmed machine instead of re-simulating
+ * their warm-up prefix. Same warn-and-skip policy as
+ * benchCacheReports — an unreadable or corrupt bundle degrades to
+ * from-scratch simulation instead of blocking figure regeneration.
+ */
+inline std::shared_ptr<const snapshot::Bundle>
+benchSnapshotBundle()
+{
+    std::string path = driver::optionsFromEnv().snapshotPath;
+    if (path.empty())
+        return nullptr;
+    snapshot::Bundle bundle;
+    std::string err;
+    if (!snapshot::loadBundleFile(path, &bundle, &err)) {
+        std::fprintf(stderr,
+                     "bench: CHEX_BENCH_SNAPSHOT: %s; skipping\n",
+                     err.c_str());
+        return nullptr;
+    }
+    return std::make_shared<const snapshot::Bundle>(std::move(bundle));
+}
+
+/**
  * Run a prepared job list on the campaign driver with the shared
- * bench env knobs (CHEX_BENCH_JOBS/ISOLATE/TIMEOUT/CACHE/SHARD)
- * applied, and return the per-job results in submission order. Every
+ * bench env knobs (CHEX_BENCH_JOBS/ISOLATE/TIMEOUT/CACHE/SNAPSHOT/
+ * SHARD) applied, and return the per-job results in submission
+ * order. Every
  * failed cell is reported before exiting — a sweep that dies on the
  * first failure hides every other broken cell, which matters when a
  * config change breaks a whole variant column at once.
@@ -148,6 +179,7 @@ runCampaignJobs(std::vector<driver::JobSpec> jobs, uint64_t seed)
     if (!opts.workers)
         opts.workers = benchJobs();
     opts.cacheReports = benchCacheReports();
+    opts.snapshot = benchSnapshotBundle();
     driver::CampaignReport report = driver::runCampaign(jobs, opts);
 
     std::vector<RunResult> results;

@@ -1,0 +1,101 @@
+#include "base64.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+const char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+    "0123456789+/";
+
+/** 0-63 for alphabet characters, -1 otherwise ('=' included). */
+int
+decodeChar(char c)
+{
+    if (c >= 'A' && c <= 'Z')
+        return c - 'A';
+    if (c >= 'a' && c <= 'z')
+        return c - 'a' + 26;
+    if (c >= '0' && c <= '9')
+        return c - '0' + 52;
+    if (c == '+')
+        return 62;
+    if (c == '/')
+        return 63;
+    return -1;
+}
+
+} // namespace
+
+std::string
+base64Encode(const void *data, size_t n)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    std::string out;
+    out.reserve(((n + 2) / 3) * 4);
+    size_t i = 0;
+    for (; i + 3 <= n; i += 3) {
+        uint32_t v = (uint32_t(p[i]) << 16) | (uint32_t(p[i + 1]) << 8) |
+                     uint32_t(p[i + 2]);
+        out += kAlphabet[(v >> 18) & 63];
+        out += kAlphabet[(v >> 12) & 63];
+        out += kAlphabet[(v >> 6) & 63];
+        out += kAlphabet[v & 63];
+    }
+    size_t rem = n - i;
+    if (rem == 1) {
+        uint32_t v = uint32_t(p[i]) << 16;
+        out += kAlphabet[(v >> 18) & 63];
+        out += kAlphabet[(v >> 12) & 63];
+        out += "==";
+    } else if (rem == 2) {
+        uint32_t v = (uint32_t(p[i]) << 16) | (uint32_t(p[i + 1]) << 8);
+        out += kAlphabet[(v >> 18) & 63];
+        out += kAlphabet[(v >> 12) & 63];
+        out += kAlphabet[(v >> 6) & 63];
+        out += '=';
+    }
+    return out;
+}
+
+bool
+base64Decode(const std::string &text, std::vector<uint8_t> &out)
+{
+    out.clear();
+    if (text.size() % 4 != 0)
+        return false;
+    out.reserve((text.size() / 4) * 3);
+    for (size_t i = 0; i < text.size(); i += 4) {
+        int pad = 0;
+        int vals[4];
+        for (int j = 0; j < 4; ++j) {
+            char c = text[i + j];
+            if (c == '=') {
+                // Padding is only legal in the last group's final
+                // one or two positions.
+                if (i + 4 != text.size() || j < 2)
+                    return false;
+                ++pad;
+                vals[j] = 0;
+                continue;
+            }
+            if (pad)
+                return false; // data after '='
+            vals[j] = decodeChar(c);
+            if (vals[j] < 0)
+                return false;
+        }
+        uint32_t v = (uint32_t(vals[0]) << 18) | (uint32_t(vals[1]) << 12) |
+                     (uint32_t(vals[2]) << 6) | uint32_t(vals[3]);
+        out.push_back(uint8_t((v >> 16) & 0xff));
+        if (pad < 2)
+            out.push_back(uint8_t((v >> 8) & 0xff));
+        if (pad < 1)
+            out.push_back(uint8_t(v & 0xff));
+    }
+    return true;
+}
+
+} // namespace chex

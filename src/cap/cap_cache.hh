@@ -49,6 +49,28 @@ class CapabilityCache
 
     void clear() { cache.clear(); }
 
+    /** @{ @name Snapshot serialization (chex-snapshot-v1) */
+    json::Value
+    saveState() const
+    {
+        return json::Value::object()
+            .set("cache", cache.saveState())
+            .set("invalidationsSent", _invalidationsSent);
+    }
+
+    bool
+    restoreState(const json::Value &v)
+    {
+        if (!v.isObject())
+            return false;
+        const json::Value *c = v.find("cache");
+        if (!c || !cache.restoreState(*c))
+            return false;
+        _invalidationsSent = json::getUint(v, "invalidationsSent", 0);
+        return true;
+    }
+    /** @} */
+
   private:
     SetAssocCache cache;
     uint64_t _invalidationsSent = 0;

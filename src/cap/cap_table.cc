@@ -237,4 +237,119 @@ CapabilityTable::clear()
     liveCount = 0;
 }
 
+json::Value
+CapabilityTable::saveState() const
+{
+    std::vector<Pid> pids;
+    pids.reserve(caps.size());
+    for (const auto &[pid, cap] : caps)
+        pids.push_back(pid);
+    std::sort(pids.begin(), pids.end());
+
+    json::Value jcaps = json::Value::array();
+    for (Pid pid : pids) {
+        const Capability &cap = caps.at(pid);
+        jcaps.push(json::Value::object()
+                       .set("pid", pid)
+                       .set("base", cap.base)
+                       .set("bounds", cap.bounds)
+                       .set("perms", cap.perms));
+    }
+
+    // The interval indices are serialized verbatim rather than
+    // rebuilt from the perms bits: on base collisions (e.g. a freed
+    // block re-allocated at the same address) the index keeps the
+    // most recent PID, which a rebuild from the unordered capability
+    // map could not reproduce deterministically.
+    auto index_json = [](const std::map<uint64_t, Pid> &index) {
+        json::Value out = json::Value::array();
+        for (const auto &[base, pid] : index) {
+            json::Value pair = json::Value::array();
+            pair.push(base);
+            pair.push(pid);
+            out.push(std::move(pair));
+        }
+        return out;
+    };
+
+    std::vector<Pid> init_pids;
+    init_pids.reserve(initBits.size());
+    for (const auto &[pid, words] : initBits)
+        init_pids.push_back(pid);
+    std::sort(init_pids.begin(), init_pids.end());
+    json::Value jinit = json::Value::array();
+    for (Pid pid : init_pids) {
+        const std::vector<uint64_t> &words = initBits.at(pid);
+        json::Value jwords = json::Value::array();
+        for (uint64_t w : words)
+            jwords.push(w);
+        jinit.push(json::Value::object()
+                       .set("pid", pid)
+                       .set("words", std::move(jwords)));
+    }
+
+    return json::Value::object()
+        .set("caps", std::move(jcaps))
+        .set("liveByBase", index_json(liveByBase))
+        .set("freedByBase", index_json(freedByBase))
+        .set("initBits", std::move(jinit))
+        .set("nextPid", nextPid)
+        .set("liveCount", liveCount);
+}
+
+bool
+CapabilityTable::restoreState(const json::Value &v)
+{
+    if (!v.isObject())
+        return false;
+    const json::Value *jcaps = v.find("caps");
+    const json::Value *jlive = v.find("liveByBase");
+    const json::Value *jfreed = v.find("freedByBase");
+    const json::Value *jinit = v.find("initBits");
+    if (!jcaps || !jcaps->isArray() || !jlive || !jlive->isArray() ||
+        !jfreed || !jfreed->isArray() || !jinit || !jinit->isArray()) {
+        return false;
+    }
+    clear();
+    for (const json::Value &je : jcaps->items()) {
+        if (!je.isObject())
+            return false;
+        Capability cap;
+        cap.base = json::getUint(je, "base", 0);
+        cap.bounds = static_cast<uint32_t>(json::getUint(je, "bounds", 0));
+        cap.perms = static_cast<uint32_t>(json::getUint(je, "perms", 0));
+        caps[static_cast<Pid>(json::getUint(je, "pid", 0))] = cap;
+    }
+    auto restore_index = [](const json::Value &list,
+                            std::map<uint64_t, Pid> &index) {
+        for (const json::Value &pair : list.items()) {
+            if (!pair.isArray() || pair.size() != 2)
+                return false;
+            index[pair.at(size_t(0)).asUint64()] =
+                static_cast<Pid>(pair.at(size_t(1)).asUint64());
+        }
+        return true;
+    };
+    if (!restore_index(*jlive, liveByBase) ||
+        !restore_index(*jfreed, freedByBase)) {
+        return false;
+    }
+    for (const json::Value &je : jinit->items()) {
+        if (!je.isObject())
+            return false;
+        const json::Value *jwords = je.find("words");
+        if (!jwords || !jwords->isArray())
+            return false;
+        std::vector<uint64_t> words;
+        words.reserve(jwords->size());
+        for (const json::Value &w : jwords->items())
+            words.push_back(w.asUint64());
+        initBits[static_cast<Pid>(json::getUint(je, "pid", 0))] =
+            std::move(words);
+    }
+    nextPid = static_cast<Pid>(json::getUint(v, "nextPid", 1));
+    liveCount = json::getUint(v, "liveCount", 0);
+    return true;
+}
+
 } // namespace chex

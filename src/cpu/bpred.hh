@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/json.hh"
+
 namespace chex
 {
 
@@ -63,6 +65,16 @@ class BranchPredictor
     uint64_t lookups() const { return numLookups; }
     uint64_t directionMispredicts() const { return numDirWrong; }
     uint64_t targetMispredicts() const { return numTargetWrong; }
+
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * The bimodal table goes in whole (base64); tagged/BTB entries
+     * sparsely (valid only — invalid slots are never read thanks to
+     * the allocation policy's short-circuit); the RAS fully (it is
+     * circular, every cell is reachable). Restore rejects a
+     * geometry mismatch. */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
 
   private:
     struct TaggedEntry

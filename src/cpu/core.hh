@@ -134,6 +134,15 @@ class Core
     BranchPredictor &branchPredictor() { return bpred; }
     const CoreConfig &config() const { return cfg; }
 
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * Every timing-visible field: predictor, fetch frontier, all
+     * resource calendars and occupancy windows, dataflow readiness,
+     * store-forwarding map, per-macro bookkeeping, commit frontiers,
+     * and counters. */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
+
   private:
     unsigned uopLatency(const StaticUop &uop) const;
     ResourceCalendar &fuFor(const StaticUop &uop);

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "base/json.hh"
 #include "isa/uops.hh"
 #include "mem/sparse_memory.hh"
 
@@ -62,6 +63,28 @@ class MachineState
     UopEffect execute(const StaticUop &uop, uint64_t direct_target);
 
     SparseMemory &memory() { return mem; }
+
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * Registers only; memory is serialized by its owner. */
+    json::Value
+    saveState() const
+    {
+        json::Value out = json::Value::array();
+        for (uint64_t r : regs)
+            out.push(r);
+        return out;
+    }
+
+    bool
+    restoreState(const json::Value &v)
+    {
+        if (!v.isArray() || v.size() != NumArchRegs)
+            return false;
+        for (size_t r = 0; r < NumArchRegs; ++r)
+            regs[r] = v.at(r).asUint64();
+        return true;
+    }
+    /** @} */
 
   private:
     uint64_t regs[NumArchRegs];

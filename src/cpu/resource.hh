@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/base64.hh"
+#include "base/json.hh"
 #include "base/logging.hh"
 
 namespace chex
@@ -59,6 +61,32 @@ class ResourceCalendar
         std::fill(used.begin(), used.end(), 0);
         base = 0;
     }
+
+    /** @{ @name Snapshot serialization (chex-snapshot-v1) */
+    json::Value
+    saveState() const
+    {
+        return json::Value::object()
+            .set("base", base)
+            .set("used", base64Encode(used.data(), used.size()));
+    }
+
+    bool
+    restoreState(const json::Value &v)
+    {
+        if (!v.isObject())
+            return false;
+        const json::Value *ju = v.find("used");
+        std::vector<uint8_t> bytes;
+        if (!ju || !ju->isString() || !base64Decode(ju->str(), bytes) ||
+            bytes.size() != used.size()) {
+            return false;
+        }
+        used = std::move(bytes);
+        base = json::getUint(v, "base", 0);
+        return true;
+    }
+    /** @} */
 
   private:
     size_t index(uint64_t cycle) const { return cycle % used.size(); }
@@ -121,6 +149,33 @@ class OccupancyWindow
         std::fill(releaseCycles.begin(), releaseCycles.end(), 0);
         head = 0;
     }
+
+    /** @{ @name Snapshot serialization (chex-snapshot-v1) */
+    json::Value
+    saveState() const
+    {
+        json::Value jr = json::Value::array();
+        for (uint64_t c : releaseCycles)
+            jr.push(c);
+        return json::Value::object()
+            .set("head", head)
+            .set("release", std::move(jr));
+    }
+
+    bool
+    restoreState(const json::Value &v)
+    {
+        if (!v.isObject())
+            return false;
+        const json::Value *jr = v.find("release");
+        if (!jr || !jr->isArray() || jr->size() != releaseCycles.size())
+            return false;
+        for (size_t i = 0; i < releaseCycles.size(); ++i)
+            releaseCycles[i] = jr->at(i).asUint64();
+        head = json::getUint(v, "head", 0);
+        return true;
+    }
+    /** @} */
 
   private:
     unsigned cap;

@@ -10,6 +10,7 @@
 #include "base/logging.hh"
 #include "driver/spec_hash.hh"
 #include "driver/subprocess.hh"
+#include "snapshot/snapshot.hh"
 #include "workload/generator.hh"
 
 namespace chex
@@ -79,13 +80,10 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Default job body: synthesize, simulate, sanity-check. */
+/** Sanity-check a finished run (stuck workloads must not pass). */
 RunResult
-runSpec(const JobSpec &spec, uint64_t seed)
+checkedResult(const JobSpec &spec, RunResult r)
 {
-    System sys(spec.config);
-    sys.load(generateWorkload(spec.profile, seed));
-    RunResult r = sys.run();
     if (!r.exited && !r.violationDetected && !r.hijackedControlFlow)
         throw std::runtime_error(
             csprintf("workload '%s' neither exited nor flagged a "
@@ -95,11 +93,64 @@ runSpec(const JobSpec &spec, uint64_t seed)
     return r;
 }
 
+/** Default job body: synthesize, simulate, sanity-check. */
+RunResult
+runSpec(const JobSpec &spec, uint64_t seed)
+{
+    System sys(spec.config);
+    sys.load(generateWorkload(spec.profile, seed));
+    return checkedResult(spec, sys.run());
+}
+
+/** Snapshot job body: restore the warmed checkpoint, then run on. */
+RunResult
+runSpecFromSnapshot(const JobSpec &spec, uint64_t seed,
+                    const snapshot::MachineEntry &entry)
+{
+    if (entry.seed != seed) {
+        // The spec hash covers the seed, so a key match with a
+        // different seed means the bundle itself is inconsistent.
+        throw std::runtime_error(
+            csprintf("snapshot entry for '%s' was built with seed "
+                     "%llu, job wants %llu",
+                     spec.label.c_str(),
+                     static_cast<unsigned long long>(entry.seed),
+                     static_cast<unsigned long long>(seed)));
+    }
+    System sys(spec.config);
+    std::string err;
+    if (!snapshot::restoreEntry(entry, spec.profile, spec.config,
+                                &sys, &err)) {
+        throw std::runtime_error(
+            csprintf("cannot restore snapshot for '%s': %s",
+                     spec.label.c_str(), err.c_str()));
+    }
+    return checkedResult(spec, sys.run());
+}
+
+/**
+ * The snapshot bundle entry this job would restore from, or nullptr
+ * when the job runs from scratch (no bundle, body override, or no
+ * entry for its spec). Keyed by the *base* spec hash — the folded
+ * hash in JobResult::specHash exists precisely so that it cannot
+ * collide back onto the bundle key space.
+ */
+const snapshot::MachineEntry *
+snapshotEntryFor(const JobSpec &spec, uint64_t seed,
+                 const CampaignOptions &opts)
+{
+    if (!opts.snapshot || spec.body)
+        return nullptr;
+    return opts.snapshot->findBySpecKey(specHash(spec, seed));
+}
+
 /**
  * Fill the identity fields every JobResult carries, run or cached.
  * specHash stays 0 for body-override jobs: their outcome is not a
  * function of the hashed spec, so recording a hash would let a later
  * campaign wrongly satisfy a default-body job from their result.
+ * Snapshot-matched jobs fold the snapshot state hash in: a job
+ * resumed from a checkpoint is a different simulation point.
  */
 JobResult
 describeJob(const JobSpec &spec, size_t index,
@@ -114,6 +165,11 @@ describeJob(const JobSpec &spec, size_t index,
     jr.seed = spec.workloadSeed ? *spec.workloadSeed
                                 : jobSeed(opts.seed, index);
     jr.specHash = spec.body ? 0 : specHash(spec, jr.seed);
+    if (const snapshot::MachineEntry *entry =
+            snapshotEntryFor(spec, jr.seed, opts)) {
+        jr.fromSnapshot = true;
+        jr.specHash = foldSnapshotHash(jr.specHash, entry->stateHash);
+    }
     return jr;
 }
 
@@ -123,6 +179,14 @@ executeJob(const JobSpec &spec, size_t index,
            const CampaignOptions &opts)
 {
     JobResult jr = describeJob(spec, index, opts);
+    const snapshot::MachineEntry *snap =
+        snapshotEntryFor(spec, jr.seed, opts);
+    auto run_body = [&]() {
+        if (spec.body)
+            return spec.body(spec, jr.seed);
+        return snap ? runSpecFromSnapshot(spec, jr.seed, *snap)
+                    : runSpec(spec, jr.seed);
+    };
 
     // Wall time accumulates across attempts (attemptSeconds keeps
     // the per-attempt breakdown), so a job that fails twice before
@@ -138,12 +202,8 @@ executeJob(const JobSpec &spec, size_t index,
         jr.attempts = attempt;
 
         if (opts.isolation) {
-            AttemptOutcome out = runIsolatedAttempt(
-                [&]() {
-                    return spec.body ? spec.body(spec, jr.seed)
-                                     : runSpec(spec, jr.seed);
-                },
-                opts.timeoutSeconds);
+            AttemptOutcome out =
+                runIsolatedAttempt(run_body, opts.timeoutSeconds);
             record_attempt(out.wallSeconds);
             if (out.ok) {
                 jr.run = std::move(out.run);
@@ -166,8 +226,7 @@ executeJob(const JobSpec &spec, size_t index,
 
         Clock::time_point start = Clock::now();
         try {
-            jr.run = spec.body ? spec.body(spec, jr.seed)
-                               : runSpec(spec, jr.seed);
+            jr.run = run_body();
             record_attempt(secondsSince(start));
             jr.failed = false;
             jr.error.clear();
@@ -313,6 +372,8 @@ runCampaign(const std::vector<JobSpec> &jobs,
         report.serialSeconds += jr.wallSeconds;
         if (jr.cached)
             report.jobsCached++;
+        if (jr.fromSnapshot)
+            report.jobsFromSnapshot++;
         if (jr.failed) {
             report.jobsFailed++;
             continue;

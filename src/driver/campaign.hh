@@ -50,6 +50,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,6 +60,12 @@
 
 namespace chex
 {
+
+namespace snapshot
+{
+struct Bundle;
+} // namespace snapshot
+
 namespace driver
 {
 
@@ -141,6 +148,17 @@ struct JobResult
     bool cached = false;
 
     /**
+     * True when this job started from a restored checkpoint
+     * (CampaignOptions::snapshot matched its spec) instead of a
+     * cold System. specHash is then the *folded* hash — the base
+     * spec hash combined with the snapshot's state hash (see
+     * foldSnapshotHash) — because a from-snapshot job is a
+     * different simulation point than a from-scratch one and must
+     * never satisfy (or be satisfied by) its cache entries.
+     */
+    bool fromSnapshot = false;
+
+    /**
      * True when this job belongs to another shard of a sharded
      * campaign: the row is a pure placeholder carrying only the
      * identity fields above (label, seed, specHash, ...) so that job
@@ -203,6 +221,7 @@ struct CampaignReport
     size_t jobsFailed = 0;
     size_t jobsCached = 0; // satisfied from cacheReports, not run
     size_t jobsSkipped = 0; // out-of-shard placeholder rows
+    size_t jobsFromSnapshot = 0; // fanned out from a restored checkpoint
 
     double wallSeconds = 0.0;   // campaign wall clock
     double serialSeconds = 0.0; // sum of per-job wall clocks
@@ -258,6 +277,20 @@ struct CampaignOptions
      * older reports load fine but yield no hits.
      */
     std::vector<CampaignReport> cacheReports;
+
+    /**
+     * Snapshot fan-out: a bundle of warmed machine states (see
+     * snapshot/snapshot.hh, typically written by `chex-campaign
+     * snapshot` and loaded from disk). A default-body job whose
+     * spec hash matches a bundle entry restores that entry instead
+     * of constructing a cold System, so every variant job of a
+     * sweep resumes from its own warmed checkpoint. Jobs without a
+     * matching entry run from scratch as usual. Matched jobs carry
+     * JobResult::fromSnapshot and a folded specHash, which keeps
+     * result caching and sharding sound (the same spec from-scratch
+     * and from-snapshot are distinct cache identities).
+     */
+    std::shared_ptr<const snapshot::Bundle> snapshot;
 
     /**
      * Run only shard `shardIndex` of `shardCount`: jobs with

@@ -142,6 +142,9 @@ optionsFromEnv()
                 env.cachePaths.push_back(path);
     }
 
+    if (const char *s = std::getenv("CHEX_BENCH_SNAPSHOT"))
+        env.snapshotPath = s;
+
     if (const char *s = std::getenv("CHEX_BENCH_SHARD")) {
         if (*s) {
             std::string err;

@@ -14,11 +14,12 @@
  *   CHEX_BENCH_TIMEOUT  per-attempt watchdog seconds (>= 0; 0 = off)
  *   CHEX_BENCH_CACHE    colon-separated prior-report paths
  *   CHEX_BENCH_SHARD    "I/N": run shard I of N (default "0/1")
+ *   CHEX_BENCH_SNAPSHOT snapshot-bundle path to fan jobs from
  *
- * Loading the cache *files* is deliberately not done here: the CLI
- * hard-errors on an unreadable --cache/CHEX_BENCH_CACHE path while
- * the benches warn and skip, so the paths are returned raw and each
- * consumer applies its own policy.
+ * Loading the cache/snapshot *files* is deliberately not done here:
+ * the CLI hard-errors on an unreadable --cache/CHEX_BENCH_CACHE or
+ * --from-snapshot path while the benches warn and skip, so the paths
+ * are returned raw and each consumer applies its own policy.
  */
 
 #ifndef CHEX_DRIVER_ENV_HH
@@ -45,6 +46,7 @@ struct EnvOptions
     std::vector<std::string> cachePaths; // CHEX_BENCH_CACHE
     unsigned shardIndex = 0;     // CHEX_BENCH_SHARD ("I/N")
     unsigned shardCount = 1;
+    std::string snapshotPath;    // CHEX_BENCH_SNAPSHOT; "" = none
 
     /**
      * Copy the campaign-execution knobs (jobs, isolate, timeout,

@@ -96,6 +96,7 @@ toJson(const JobResult &jr)
                           .set("repetition", jr.repetition)
                           .set("specHash", specHashHex(jr.specHash))
                           .set("cached", jr.cached)
+                          .set("fromSnapshot", jr.fromSnapshot)
                           .set("status", status)
                           .set("attempts", jr.attempts)
                           .set("wallSeconds", jr.wallSeconds)
@@ -126,7 +127,7 @@ toJson(const CampaignReport &report)
         jobs.push(toJson(jr));
 
     return json::Value::object()
-        .set("schema", "chex-campaign-report-v4")
+        .set("schema", "chex-campaign-report-v5")
         .set("seed", report.seed)
         .set("workers", report.workers)
         .set("shard", json::Value::object()
@@ -142,6 +143,8 @@ toJson(const CampaignReport &report)
                       static_cast<uint64_t>(report.jobsCached))
                  .set("jobsSkipped",
                       static_cast<uint64_t>(report.jobsSkipped))
+                 .set("jobsFromSnapshot",
+                      static_cast<uint64_t>(report.jobsFromSnapshot))
                  .set("wallSeconds", report.wallSeconds)
                  .set("serialSeconds", report.serialSeconds)
                  .set("speedupVsSerial", report.speedup)
@@ -284,6 +287,8 @@ fromJson(const json::Value &v, JobResult &out, std::string *err)
     out.specHash =
         specHashFromHex(json::getString(v, "specHash", ""));
     out.cached = json::getBool(v, "cached", false);
+    // New in v5; pre-v5 jobs all ran from scratch.
+    out.fromSnapshot = json::getBool(v, "fromSnapshot", false);
     std::string status = json::getString(v, "status", "ok");
     out.failed = status == "failed";
     // "skipped" is new in v4; pre-v4 reports never carry it, so
@@ -338,7 +343,8 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
     if (schema != "chex-campaign-report-v1" &&
         schema != "chex-campaign-report-v2" &&
         schema != "chex-campaign-report-v3" &&
-        schema != "chex-campaign-report-v4") {
+        schema != "chex-campaign-report-v4" &&
+        schema != "chex-campaign-report-v5") {
         return failParse(err, schema.empty()
                                   ? "missing schema tag"
                                   : "unknown schema tag");
@@ -370,6 +376,8 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
             json::getUint(*summary, "jobsCached", 0));
         out.jobsSkipped = static_cast<size_t>(
             json::getUint(*summary, "jobsSkipped", 0));
+        out.jobsFromSnapshot = static_cast<size_t>(
+            json::getUint(*summary, "jobsFromSnapshot", 0));
         out.wallSeconds = json::getDouble(*summary, "wallSeconds", 0.0);
         out.serialSeconds =
             json::getDouble(*summary, "serialSeconds", 0.0);

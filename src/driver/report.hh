@@ -1,13 +1,13 @@
 /**
  * @file
  * Campaign-report serialization: RunResult, JobResult, and
- * CampaignReport → JSON (schema "chex-campaign-report-v4", described
+ * CampaignReport → JSON (schema "chex-campaign-report-v5", described
  * in DESIGN.md §8) and back. The RunResult serializer is also what
  * single runs use to emit structured stats next to
  * System::dumpStatsJson, and the fromJson direction is how
  * fork-isolated workers stream results to the campaign parent and
  * how cache sources and report consumers (the merge subcommand,
- * diff tools) load v1 through v4 files.
+ * diff tools) load v1 through v5 files.
  */
 
 #ifndef CHEX_DRIVER_REPORT_HH
@@ -50,7 +50,8 @@ void writeReport(const CampaignReport &report, std::ostream &os);
  * the conflated `exitStatus` split by cause: signal/timeout failures
  * backfill `termSignal`, everything else `exitCode`. Pre-v4 files
  * (no `shard` block, no "skipped" job status) parse as complete
- * unsharded reports — shard 0 of 1, nothing skipped. Returns false
+ * unsharded reports — shard 0 of 1, nothing skipped. Pre-v5 files
+ * (no `fromSnapshot`) parse with every job from scratch. Returns false
  * and fills @p err (if non-null) when @p v is structurally wrong
  * (not an object, bad schema tag, jobs not an array, ...).
  */

@@ -46,6 +46,16 @@ namespace driver
  */
 uint64_t specHash(const JobSpec &spec, uint64_t seed);
 
+/**
+ * Fold a snapshot's machine-state digest into a job's spec hash.
+ * A job fanned out from a restored checkpoint is a different
+ * simulation point than the same (spec, seed) run from scratch —
+ * its warm-up prefix already happened — so its cache identity must
+ * differ too, or a from-scratch cache hit would satisfy (and
+ * corrupt) a snapshot campaign and vice versa. Never returns 0.
+ */
+uint64_t foldSnapshotHash(uint64_t spec_hash, uint64_t state_hash);
+
 /** The hash as the 16-digit lower-case hex the report records. */
 std::string specHashHex(uint64_t hash);
 

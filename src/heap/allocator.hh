@@ -109,6 +109,14 @@ class HeapAllocator
     stats::StatGroup &statGroup() { return statsGroup; }
     /** @} */
 
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * Arena state only (bins, wilderness pointer, ASan shadow
+     * ranges, counters); chunk metadata lives in simulated memory
+     * and travels with the SparseMemory pages. */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
+
     static constexpr uint64_t HeaderBytes = 16;
     static constexpr uint64_t MinChunk = 32;
     static constexpr uint64_t FlagPrevInUse = 1;

@@ -1,5 +1,6 @@
 #include "program.hh"
 
+#include "base/fnv.hh"
 #include "base/logging.hh"
 
 namespace chex
@@ -37,6 +38,56 @@ Program::findSymbol(const std::string &name) const
         if (s.name == name)
             return &s;
     return nullptr;
+}
+
+uint64_t
+programHash(const Program &prog)
+{
+    TaggedHasher h;
+    h.u64("codeBase", prog.codeBase);
+    h.u64("entryPoint", prog.entryPoint);
+    h.u64("dataSize", prog.dataSize);
+    h.u64("code.count", prog.code.size());
+    for (const MacroInst &mi : prog.code) {
+        h.u64("inst.opcode", static_cast<uint64_t>(mi.opcode));
+        h.u64("inst.dst", static_cast<uint64_t>(mi.dst));
+        h.u64("inst.src", static_cast<uint64_t>(mi.src));
+        h.u64("inst.mem.base", static_cast<uint64_t>(mi.mem.base));
+        h.u64("inst.mem.index", static_cast<uint64_t>(mi.mem.index));
+        h.u64("inst.mem.scale", mi.mem.scale);
+        h.u64("inst.mem.disp", static_cast<uint64_t>(mi.mem.disp));
+        h.u64("inst.mem.ripRelative", mi.mem.ripRelative);
+        h.u64("inst.imm", static_cast<uint64_t>(mi.imm));
+        h.u64("inst.size", mi.size);
+        h.u64("inst.cc", static_cast<uint64_t>(mi.cc));
+        h.u64("inst.target", mi.target);
+        h.u64("inst.intrinsic", static_cast<uint64_t>(mi.intrinsic));
+    }
+    h.u64("symbols.count", prog.symbols.size());
+    for (const Symbol &s : prog.symbols) {
+        h.str("symbol.name", s.name);
+        h.u64("symbol.addr", s.addr);
+        h.u64("symbol.size", s.size);
+    }
+    h.u64("pool.count", prog.pool.size());
+    for (const PoolSlot &p : prog.pool) {
+        h.u64("pool.addr", p.addr);
+        h.u64("pool.value", p.value);
+        h.str("pool.refSymbol", p.refSymbol);
+    }
+    h.u64("runtimeFuncs.count", prog.runtimeFuncs.size());
+    for (const RuntimeFunc &f : prog.runtimeFuncs) {
+        h.u64("runtime.kind", static_cast<uint64_t>(f.kind));
+        h.u64("runtime.entryAddr", f.entryAddr);
+        h.u64("runtime.exitAddr", f.exitAddr);
+    }
+    h.u64("initData.count", prog.initData.size());
+    for (const InitBlob &b : prog.initData) {
+        h.u64("blob.addr", b.addr);
+        h.u64("blob.len", b.bytes.size());
+        h.bytes(b.bytes.data(), b.bytes.size());
+    }
+    return h.digest();
 }
 
 } // namespace chex

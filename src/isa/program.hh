@@ -109,6 +109,15 @@ struct Program
     const Symbol *findSymbol(const std::string &name) const;
 };
 
+/**
+ * Canonical content hash of a program image (tagged FNV-1a 64 over
+ * every instruction, symbol, pool slot, runtime function, and init
+ * blob). A snapshot records it so restore can verify that the
+ * deterministically regenerated workload is byte-for-byte the one
+ * the checkpoint was taken from. Never returns 0.
+ */
+uint64_t programHash(const Program &prog);
+
 } // namespace chex
 
 #endif // CHEX_ISA_PROGRAM_HH

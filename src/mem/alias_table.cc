@@ -1,5 +1,7 @@
 #include "alias_table.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace chex
@@ -121,6 +123,106 @@ AliasTable::clear()
     root = allocNode();
     _liveEntries = 0;
     aliasPages.clear();
+}
+
+namespace
+{
+
+/**
+ * One node as a sorted [slot, payload] pair list; the payload is a
+ * child node (interior levels) or the stored PID (leaf level).
+ */
+json::Value
+saveNode(const std::array<uint64_t, 512> &slots, unsigned level,
+         unsigned levels)
+{
+    json::Value out = json::Value::array();
+    for (size_t i = 0; i < slots.size(); ++i) {
+        if (!slots[i])
+            continue;
+        json::Value pair = json::Value::array();
+        pair.push(static_cast<uint64_t>(i));
+        if (level + 1 < levels) {
+            const auto *child =
+                reinterpret_cast<const std::array<uint64_t, 512> *>(
+                    slots[i]);
+            pair.push(saveNode(*child, level + 1, levels));
+        } else {
+            pair.push(slots[i]);
+        }
+        out.push(std::move(pair));
+    }
+    return out;
+}
+
+} // namespace
+
+json::Value
+AliasTable::saveState() const
+{
+    std::vector<std::pair<uint64_t, uint32_t>> pages(aliasPages.begin(),
+                                                     aliasPages.end());
+    std::sort(pages.begin(), pages.end());
+    json::Value jpages = json::Value::array();
+    for (const auto &[page, count] : pages) {
+        json::Value pair = json::Value::array();
+        pair.push(page);
+        pair.push(count);
+        jpages.push(std::move(pair));
+    }
+    return json::Value::object()
+        .set("tree", saveNode(root->slots, 0, Levels))
+        .set("pages", std::move(jpages))
+        .set("liveEntries", _liveEntries);
+}
+
+bool
+AliasTable::restoreNode(Node *node, const json::Value &v, unsigned level)
+{
+    if (!v.isArray())
+        return false;
+    for (const json::Value &pair : v.items()) {
+        if (!pair.isArray() || pair.size() != 2 ||
+            !pair.at(size_t(0)).isNumber()) {
+            return false;
+        }
+        uint64_t idx = pair.at(size_t(0)).asUint64();
+        if (idx >= Fanout)
+            return false;
+        if (level + 1 < Levels) {
+            Node *child = allocNode();
+            node->slots[idx] = reinterpret_cast<uint64_t>(child);
+            if (!restoreNode(child, pair.at(size_t(1)), level + 1))
+                return false;
+        } else {
+            if (!pair.at(size_t(1)).isNumber())
+                return false;
+            node->slots[idx] = pair.at(size_t(1)).asUint64();
+        }
+    }
+    return true;
+}
+
+bool
+AliasTable::restoreState(const json::Value &v)
+{
+    if (!v.isObject())
+        return false;
+    const json::Value *tree = v.find("tree");
+    const json::Value *pages = v.find("pages");
+    if (!tree || !pages || !pages->isArray())
+        return false;
+    clear();
+    if (!restoreNode(root, *tree, 0))
+        return false;
+    for (const json::Value &pair : pages->items()) {
+        if (!pair.isArray() || pair.size() != 2)
+            return false;
+        aliasPages[pair.at(size_t(0)).asUint64()] =
+            static_cast<uint32_t>(pair.at(size_t(1)).asUint64());
+    }
+    _liveEntries = json::getUint(v, "liveEntries", 0);
+    return true;
 }
 
 } // namespace chex

@@ -18,6 +18,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "base/json.hh"
+
 namespace chex
 {
 
@@ -62,6 +64,16 @@ class AliasTable
     /** Remove every entry. */
     void clear();
 
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * Serializes the radix-tree STRUCTURE, not just the live
+     * entries: set(addr, 0) never frees interior nodes, so the node
+     * count — and through it storageBytes()/shadow-memory stats —
+     * depends on allocation history that a rebuild from live
+     * entries would lose. */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
+
     static constexpr unsigned Levels = 5;
     static constexpr unsigned NodeBytes = 4096;
 
@@ -85,6 +97,7 @@ class AliasTable
 
     Node *allocNode();
     void freeSubtree(Node *node, unsigned level);
+    bool restoreNode(Node *node, const json::Value &v, unsigned level);
 };
 
 } // namespace chex

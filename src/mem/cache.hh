@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "base/json.hh"
 #include "base/stats.hh"
 
 namespace chex
@@ -79,6 +80,15 @@ class SetAssocCache
 
     stats::StatGroup &statGroup() { return _stats; }
 
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * Valid entries only, each with its flat array index — insert()
+     * prefers the first invalid slot in way order, so which slots
+     * are valid (not just which keys are resident) is timing state.
+     * Restore rejects a geometry mismatch. */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
+
   private:
     struct Entry
     {
@@ -137,6 +147,11 @@ class VictimAugmentedCache
 
     SetAssocCache &main() { return _main; }
     SetAssocCache &victim() { return _victim; }
+
+    /** @{ @name Snapshot serialization (chex-snapshot-v1) */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
 
   private:
     SetAssocCache _main;

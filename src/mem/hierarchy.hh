@@ -70,6 +70,11 @@ class MemoryHierarchy
 
     const HierarchyConfig &config() const { return cfg; }
 
+    /** @{ @name Snapshot serialization (chex-snapshot-v1) */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
+
   private:
     uint64_t lineOf(uint64_t addr) const { return addr / cfg.lineBytes; }
 

@@ -1,7 +1,9 @@
 #include "sparse_memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
+#include "base/base64.hh"
 #include "base/logging.hh"
 
 namespace chex
@@ -73,6 +75,49 @@ SparseMemory::writeBlock(uint64_t addr, const void *buf, uint64_t len)
         in += chunk;
         len -= chunk;
     }
+}
+
+json::Value
+SparseMemory::saveState() const
+{
+    std::vector<uint64_t> nums;
+    nums.reserve(pages.size());
+    for (const auto &[num, page] : pages)
+        nums.push_back(num);
+    std::sort(nums.begin(), nums.end());
+
+    json::Value out = json::Value::array();
+    for (uint64_t num : nums) {
+        const Page &page = *pages.at(num);
+        out.push(json::Value::object()
+                     .set("page", num)
+                     .set("data", base64Encode(page.data(), PageBytes)));
+    }
+    return out;
+}
+
+bool
+SparseMemory::restoreState(const json::Value &v)
+{
+    if (!v.isArray())
+        return false;
+    pages.clear();
+    std::vector<uint8_t> bytes;
+    for (const json::Value &e : v.items()) {
+        if (!e.isObject())
+            return false;
+        const json::Value *data = e.find("data");
+        if (!data || !data->isString() ||
+            !base64Decode(data->str(), bytes) ||
+            bytes.size() != PageBytes) {
+            return false;
+        }
+        uint64_t num = json::getUint(e, "page", 0);
+        auto &slot = pages[num];
+        slot = std::make_unique<Page>();
+        std::memcpy(slot->data(), bytes.data(), PageBytes);
+    }
+    return true;
 }
 
 void

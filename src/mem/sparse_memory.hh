@@ -13,6 +13,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "base/json.hh"
+
 namespace chex
 {
 
@@ -45,6 +47,13 @@ class SparseMemory
 
     /** Drop all contents. */
     void clear() { pages.clear(); }
+
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * Every resident page, sorted by page number for deterministic
+     * output, with contents as base64. */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
 
   private:
     using Page = std::array<uint8_t, PageBytes>;

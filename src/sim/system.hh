@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "base/json.hh"
 #include "base/stats.hh"
 
 #include "cap/cap_cache.hh"
@@ -144,6 +146,46 @@ class System
     RunResult run();
 
     /**
+     * Run at most @p n more macro-ops, then pause. A paused system
+     * holds the complete mid-run machine state and can be snapshotted
+     * (saveSnapshot()) or continued (run() / runMacros()); the
+     * eventual results are bit-identical to an uninterrupted run.
+     *
+     * @return true while the system is paused (resumable); false once
+     *         the run terminated (HLT, violation halt, hijack, or the
+     *         macro-op cap) — a terminated run is neither resumable
+     *         nor snapshottable (a later run() starts over).
+     */
+    bool runMacros(uint64_t n);
+
+    /** True when a run is paused mid-stream (snapshot-eligible). */
+    bool paused() const { return pausedFlag; }
+
+    /**
+     * @{ @name Checkpoint/restore (chex-snapshot-v1)
+     *
+     * saveSnapshot() serializes the complete machine state of a
+     * *paused* run — architectural state, sparse memory, cache
+     * hierarchy, core timing state, branch predictor, heap arena,
+     * capability table + cache, alias table, pointer tracker, and the
+     * orchestrator's own run state — into a self-describing JSON
+     * document pinned to this System's configuration (configHash) and
+     * loaded program (programHash).
+     *
+     * restoreSnapshot() is strict: it rejects (returning false and
+     * naming the reason in @p err) a wrong format tag, a config or
+     * program mismatch, and any malformed or geometry-incompatible
+     * section. On success the system is paused at the recorded
+     * point; run()/runMacros() continue from it bit-identically.
+     *
+     * Runs with cfg.enableChecker are not snapshottable: the checker
+     * mutates its rule database in ways the snapshot does not carry.
+     */
+    json::Value saveSnapshot(std::string *err) const;
+    bool restoreSnapshot(const json::Value &v, std::string *err);
+    /** @} */
+
+    /**
      * Dump a gem5-style statistics tree (core, heap, tracker, cache
      * hierarchy) for the most recent run.
      */
@@ -208,6 +250,18 @@ class System
     /** One cap micro-op through the timing core. */
     void addCapUop(UopType type, RegId src, unsigned extra_latency);
 
+    /** @{ @name Run-loop phases (run() = begin + step + collect) */
+    /** Reset all per-run state and point fetch at the entry point. */
+    void beginRun();
+    /**
+     * Execute macro-ops until a terminal condition or until
+     * macroCount reaches @p stop_at (which pauses the run).
+     */
+    void stepLoop(uint64_t stop_at);
+    /** Fill the derived fields of `result` from the components. */
+    void collectResult();
+    /** @} */
+
     SystemConfig cfg;
     SparseMemory mem;
     MemoryHierarchy hier;
@@ -227,8 +281,10 @@ class System
 
     // Run state
     bool running = false;
+    bool pausedFlag = false;  // mid-run, resumable (snapshot point)
     uint64_t seq = 0;
     uint64_t macroCount = 0;
+    uint64_t pc = 0;          // fetch frontier (macro granularity)
     std::vector<PendingAlloc> pending;
     RunResult result;
 

@@ -165,4 +165,88 @@ AliasPredictor::clear()
         o = 0;
 }
 
+json::Value
+AliasPredictor::saveState() const
+{
+    json::Value jtable = json::Value::array();
+    for (size_t i = 0; i < table.size(); ++i) {
+        const Entry &e = table[i];
+        if (!e.valid)
+            continue;
+        jtable.push(json::Value::object()
+                        .set("slot", static_cast<uint64_t>(i))
+                        .set("tag", e.tag)
+                        .set("lastPid", e.lastPid)
+                        .set("stride", static_cast<uint64_t>(e.stride))
+                        .set("confidence", e.confidence));
+    }
+    json::Value jbl = json::Value::array();
+    for (size_t i = 0; i < blacklist.size(); ++i) {
+        const BlacklistEntry &e = blacklist[i];
+        if (!e.valid)
+            continue;
+        jbl.push(json::Value::object()
+                     .set("slot", static_cast<uint64_t>(i))
+                     .set("tag", e.tag)
+                     .set("confidence", e.confidence));
+    }
+    json::Value jout = json::Value::array();
+    for (uint64_t o : outcomes)
+        jout.push(o);
+    return json::Value::object()
+        .set("entries", cfg.entries)
+        .set("blacklistEntries", cfg.blacklistEntries)
+        .set("table", std::move(jtable))
+        .set("blacklist", std::move(jbl))
+        .set("numPredictions", numPredictions)
+        .set("numCorrect", numCorrect)
+        .set("outcomes", std::move(jout));
+}
+
+bool
+AliasPredictor::restoreState(const json::Value &v)
+{
+    if (!v.isObject())
+        return false;
+    if (json::getUint(v, "entries", 0) != cfg.entries ||
+        json::getUint(v, "blacklistEntries", 0) != cfg.blacklistEntries) {
+        return false;
+    }
+    const json::Value *jtable = v.find("table");
+    const json::Value *jbl = v.find("blacklist");
+    const json::Value *jout = v.find("outcomes");
+    if (!jtable || !jtable->isArray() || !jbl || !jbl->isArray() ||
+        !jout || !jout->isArray() || jout->size() != 5) {
+        return false;
+    }
+    clear();
+    for (const json::Value &je : jtable->items()) {
+        uint64_t slot = json::getUint(je, "slot", UINT64_MAX);
+        if (slot >= table.size())
+            return false;
+        Entry &e = table[slot];
+        e.tag = json::getUint(je, "tag", 0);
+        e.lastPid = static_cast<Pid>(json::getUint(je, "lastPid", 0));
+        e.stride = static_cast<int64_t>(json::getUint(je, "stride", 0));
+        e.confidence =
+            static_cast<uint8_t>(json::getUint(je, "confidence", 0));
+        e.valid = true;
+    }
+    for (const json::Value &je : jbl->items()) {
+        uint64_t slot = json::getUint(je, "slot", UINT64_MAX);
+        if (slot >= blacklist.size())
+            return false;
+        BlacklistEntry &e = blacklist[slot];
+        e.tag = json::getUint(je, "tag", 0);
+        e.confidence =
+            static_cast<uint8_t>(json::getUint(je, "confidence", 0));
+        e.valid = true;
+    }
+    numPredictions = json::getUint(v, "numPredictions", 0);
+    numCorrect = json::getUint(v, "numCorrect", 0);
+    for (size_t i = 0; i < 5; ++i)
+        outcomes[i] = jout->at(i).asUint64();
+    return true;
+}
+
 } // namespace chex

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/json.hh"
 #include "cap/capability.hh"
 
 namespace chex
@@ -93,6 +94,14 @@ class AliasPredictor
     void clear();
 
     const AliasPredictorConfig &config() const { return cfg; }
+
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * Valid entries only, indexed; strides are emitted as their
+     * two's-complement bit pattern so negative strides round-trip
+     * exactly. Restore rejects a geometry mismatch. */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
 
   private:
     struct Entry

@@ -178,4 +178,45 @@ SpeculativePointerTracker::seedAlias(uint64_t addr, Pid pid)
     aliases.set(addr, pid);
 }
 
+json::Value
+SpeculativePointerTracker::saveState() const
+{
+    return json::Value::object()
+        .set("tags", tags.saveState())
+        .set("predictor", pred.saveState())
+        .set("aliasCache", cache.saveState())
+        .set("loads", statLoads.value())
+        .set("stores", statStores.value())
+        .set("taggedDerefs", statTaggedDerefs.value())
+        .set("spills", statSpills.value())
+        .set("reloads", statReloads.value())
+        .set("aliasKills", statAliasKills.value())
+        .set("pageFilterSkips", statPageFilterSkips.value())
+        .set("remoteInvalidations", statRemoteInvalidations.value());
+}
+
+bool
+SpeculativePointerTracker::restoreState(const json::Value &v)
+{
+    if (!v.isObject())
+        return false;
+    const json::Value *jt = v.find("tags");
+    const json::Value *jp = v.find("predictor");
+    const json::Value *jc = v.find("aliasCache");
+    if (!jt || !jp || !jc || !tags.restoreState(*jt) ||
+        !pred.restoreState(*jp) || !cache.restoreState(*jc)) {
+        return false;
+    }
+    statLoads = json::getDouble(v, "loads", 0.0);
+    statStores = json::getDouble(v, "stores", 0.0);
+    statTaggedDerefs = json::getDouble(v, "taggedDerefs", 0.0);
+    statSpills = json::getDouble(v, "spills", 0.0);
+    statReloads = json::getDouble(v, "reloads", 0.0);
+    statAliasKills = json::getDouble(v, "aliasKills", 0.0);
+    statPageFilterSkips = json::getDouble(v, "pageFilterSkips", 0.0);
+    statRemoteInvalidations =
+        json::getDouble(v, "remoteInvalidations", 0.0);
+    return true;
+}
+
 } // namespace chex

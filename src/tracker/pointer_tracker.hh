@@ -132,6 +132,15 @@ class SpeculativePointerTracker
     }
     /** @} */
 
+    /** @{ @name Snapshot serialization (chex-snapshot-v1)
+     * Covers the tag file, predictor, alias cache, and counters.
+     * The rule database is config-derived (rebuilt by the System
+     * constructor) and the shadow alias table is owned by the
+     * System, which serializes it separately. */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
+
   private:
     RuleDatabase rules;
     RegTagFile tags;

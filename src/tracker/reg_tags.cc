@@ -76,4 +76,51 @@ RegTagFile::clear()
     }
 }
 
+json::Value
+RegTagFile::saveState() const
+{
+    json::Value out = json::Value::array();
+    for (const RegTag &t : tags) {
+        json::Value jt = json::Value::object();
+        jt.set("finalized", t.finalized);
+        json::Value jtr = json::Value::array();
+        for (const TransientTag &tt : t.transients) {
+            json::Value pair = json::Value::array();
+            pair.push(tt.seq);
+            pair.push(tt.pid);
+            jtr.push(std::move(pair));
+        }
+        jt.set("transients", std::move(jtr));
+        out.push(std::move(jt));
+    }
+    return out;
+}
+
+bool
+RegTagFile::restoreState(const json::Value &v)
+{
+    if (!v.isArray() || v.size() != NumArchRegs)
+        return false;
+    for (size_t r = 0; r < NumArchRegs; ++r) {
+        const json::Value &jt = v.at(r);
+        if (!jt.isObject())
+            return false;
+        const json::Value *jtr = jt.find("transients");
+        if (!jtr || !jtr->isArray())
+            return false;
+        RegTag &t = tags[r];
+        t.finalized =
+            static_cast<Pid>(json::getUint(jt, "finalized", NoPid));
+        t.transients.clear();
+        for (const json::Value &pair : jtr->items()) {
+            if (!pair.isArray() || pair.size() != 2)
+                return false;
+            t.transients.push_back(
+                {pair.at(size_t(0)).asUint64(),
+                 static_cast<Pid>(pair.at(size_t(1)).asUint64())});
+        }
+    }
+    return true;
+}
+
 } // namespace chex

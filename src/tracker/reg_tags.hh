@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "base/json.hh"
 #include "cap/capability.hh"
 #include "isa/regs.hh"
 
@@ -49,6 +50,11 @@ class RegTagFile
 
     /** Reset to all-zero tags. */
     void clear();
+
+    /** @{ @name Snapshot serialization (chex-snapshot-v1) */
+    json::Value saveState() const;
+    bool restoreState(const json::Value &v);
+    /** @} */
 
   private:
     struct TransientTag

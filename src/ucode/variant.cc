@@ -20,6 +20,23 @@ variantName(VariantKind kind)
     }
 }
 
+bool
+variantFromName(const std::string &name, VariantKind *out)
+{
+    static const VariantKind all[] = {
+        VariantKind::Baseline,          VariantKind::HardwareOnly,
+        VariantKind::BinaryTranslation, VariantKind::MicrocodeAlwaysOn,
+        VariantKind::MicrocodePrediction, VariantKind::Asan,
+    };
+    for (VariantKind kind : all) {
+        if (name == variantName(kind)) {
+            *out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::vector<SyntheticMacro>
 asanCheckSequence(const MemOperand &mem, uint64_t shadow_base)
 {

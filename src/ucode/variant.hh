@@ -14,6 +14,7 @@
 #define CHEX_UCODE_VARIANT_HH
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -35,6 +36,12 @@ enum class VariantKind : uint8_t
 
 /** Printable variant name (Figure 6 legend). */
 const char *variantName(VariantKind kind);
+
+/**
+ * Reverse of variantName, for reconstructing specs from report rows.
+ * Returns false when @p name is not a known variant name.
+ */
+bool variantFromName(const std::string &name, VariantKind *out);
 
 /** True for the variants that use capability machinery. */
 constexpr bool

@@ -119,6 +119,15 @@ profileByName(const std::string &name)
     chex_fatal("unknown benchmark profile '%s'", name.c_str());
 }
 
+const BenchmarkProfile *
+findProfileByName(const std::string &name)
+{
+    for (const auto &p : allProfiles())
+        if (p.name == name)
+            return &p;
+    return nullptr;
+}
+
 std::vector<BenchmarkProfile>
 specProfiles()
 {

@@ -77,6 +77,12 @@ const std::vector<BenchmarkProfile> &allProfiles();
 /** Profile lookup by name; fatal if unknown. */
 const BenchmarkProfile &profileByName(const std::string &name);
 
+/**
+ * Non-fatal profile lookup for reconstructing specs from external
+ * input (report rows, CLI tokens); nullptr when unknown.
+ */
+const BenchmarkProfile *findProfileByName(const std::string &name);
+
 /** Just the SPEC (or PARSEC) subset. */
 std::vector<BenchmarkProfile> specProfiles();
 std::vector<BenchmarkProfile> parsecProfiles();

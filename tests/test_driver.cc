@@ -10,8 +10,11 @@
  * bit-identical to the unsharded run) and report merging (seed /
  * option / coverage validation), the JSON value type (writer +
  * parser round trip), the campaign report / single-run stats
- * serialization in both directions (v1-v4 parse), and the bench
- * env-knob validation.
+ * serialization in both directions (v1-v5 parse), snapshot-fanned
+ * campaigns (bit-identity vs from-scratch, folded spec hashes
+ * keeping cache modes apart), record/replay of report rows
+ * (reproduced failure causes, refusal of unreconstructible rows),
+ * and the bench env-knob validation.
  */
 
 #include <gtest/gtest.h>
@@ -23,6 +26,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -33,9 +37,11 @@
 #include "driver/campaign.hh"
 #include "driver/env.hh"
 #include "driver/merge.hh"
+#include "driver/replay.hh"
 #include "driver/report.hh"
 #include "driver/spec_hash.hh"
 #include "sim/system.hh"
+#include "snapshot/snapshot.hh"
 #include "workload/generator.hh"
 #include "workload/profiles.hh"
 
@@ -548,7 +554,7 @@ TEST(Report, CampaignJsonRoundTrips)
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
 
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v4");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v5");
     EXPECT_EQ(doc.at("seed").number(), 11.0);
     // An unsharded campaign is shard 0 of 1 with nothing skipped.
     EXPECT_EQ(doc.at("shard").at("index").number(), 0.0);
@@ -590,7 +596,7 @@ TEST(Report, CampaignJsonRoundTrips)
     }
 }
 
-TEST(Report, V4RoundTripsThroughFromJson)
+TEST(Report, V5RoundTripsThroughFromJson)
 {
     std::vector<driver::JobSpec> jobs = eightJobs();
     jobs.resize(4);
@@ -609,7 +615,7 @@ TEST(Report, V4RoundTripsThroughFromJson)
     json::Value doc;
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v4");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v5");
 
     driver::CampaignReport back;
     ASSERT_TRUE(driver::fromJson(doc, back, &err)) << err;
@@ -1157,7 +1163,7 @@ TEST(Shard, ShardReportJsonRoundTrips)
     json::Value doc;
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v4");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v5");
     EXPECT_EQ(doc.at("shard").at("index").number(), 0.0);
     EXPECT_EQ(doc.at("shard").at("count").number(), 2.0);
     EXPECT_EQ(doc.at("summary").at("jobsSkipped").number(), 4.0);
@@ -1466,6 +1472,316 @@ TEST(Report, SystemDumpStatsJsonParses)
     EXPECT_GT(system.at("core").at("cycles").number(), 0.0);
     EXPECT_EQ(system.at("core").at("cycles").number(),
               double(r.cycles));
+}
+
+// --- snapshot-fanned campaigns and record/replay -------------------
+
+/**
+ * A pinned-seed (registered-profile x variant) job list: exactly
+ * what `chex-campaign run` builds for a single-rep campaign, and
+ * the only shape the replay planner can reconstruct from a report.
+ */
+std::vector<driver::JobSpec>
+pinnedMatrix(uint64_t seed, uint64_t scale)
+{
+    const char *names[] = {"mcf", "lbm"};
+    const VariantKind kinds[] = {VariantKind::Baseline,
+                                 VariantKind::MicrocodePrediction};
+    std::vector<driver::JobSpec> jobs;
+    for (const char *name : names) {
+        for (VariantKind kind : kinds) {
+            driver::JobSpec spec;
+            spec.label = std::string(name) + "/" + variantName(kind);
+            spec.profile = profileByName(name).scaledBy(scale);
+            spec.config.variant.kind = kind;
+            spec.workloadSeed = seed;
+            jobs.push_back(std::move(spec));
+        }
+    }
+    return jobs;
+}
+
+/** Warm every job point like `chex-campaign snapshot` does. */
+std::shared_ptr<const snapshot::Bundle>
+bundleFor(const std::vector<driver::JobSpec> &specs, uint64_t seed,
+          uint64_t warmup)
+{
+    snapshot::Bundle b;
+    b.campaignSeed = seed;
+    b.warmupMacros = warmup;
+    for (const driver::JobSpec &spec : specs) {
+        snapshot::MachineEntry entry;
+        std::string err;
+        EXPECT_TRUE(snapshot::buildEntry(
+            spec.profile, spec.config, seed, warmup,
+            driver::specHash(spec, seed), &entry, &err))
+            << spec.label << ": " << err;
+        b.entries.push_back(std::move(entry));
+    }
+    return std::make_shared<const snapshot::Bundle>(std::move(b));
+}
+
+TEST(SnapshotCampaign, FanOutIsBitIdenticalAndFoldsSpecHashes)
+{
+    const uint64_t seed = 9;
+    std::vector<driver::JobSpec> jobs = pinnedMatrix(seed, 50);
+
+    driver::CampaignOptions scratch;
+    scratch.workers = 2;
+    scratch.seed = seed;
+    driver::CampaignReport a = driver::runCampaign(jobs, scratch);
+    ASSERT_EQ(a.jobsFailed, 0u);
+    EXPECT_EQ(a.jobsFromSnapshot, 0u);
+
+    driver::CampaignOptions fanned = scratch;
+    fanned.snapshot = bundleFor(jobs, seed, 500);
+    driver::CampaignReport b = driver::runCampaign(jobs, fanned);
+    ASSERT_EQ(b.jobsFailed, 0u);
+    EXPECT_EQ(b.jobsFromSnapshot, jobs.size());
+
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (size_t i = 0; i < a.jobs.size(); ++i) {
+        SCOPED_TRACE(a.jobs[i].label);
+        EXPECT_FALSE(a.jobs[i].fromSnapshot);
+        EXPECT_TRUE(b.jobs[i].fromSnapshot);
+        // The restored warm-up prefix must not perturb anything the
+        // run measures.
+        EXPECT_EQ(a.jobs[i].run.cycles, b.jobs[i].run.cycles);
+        EXPECT_EQ(a.jobs[i].run.uops, b.jobs[i].run.uops);
+        EXPECT_EQ(a.jobs[i].run.macroOps, b.jobs[i].run.macroOps);
+        EXPECT_EQ(a.jobs[i].run.ipc, b.jobs[i].run.ipc);
+        EXPECT_EQ(a.jobs[i].run.capChecksInjected,
+                  b.jobs[i].run.capChecksInjected);
+        EXPECT_EQ(a.jobs[i].run.violationDetected,
+                  b.jobs[i].run.violationDetected);
+        // ... but the simulation point identity must differ: the
+        // snapshot's state digest is folded into the spec hash.
+        EXPECT_NE(a.jobs[i].specHash, b.jobs[i].specHash);
+        EXPECT_NE(b.jobs[i].specHash, 0u);
+    }
+}
+
+TEST(SnapshotCampaign, FoldedHashesKeepTheCacheModesApart)
+{
+    const uint64_t seed = 9;
+    std::vector<driver::JobSpec> jobs = pinnedMatrix(seed, 50);
+    std::shared_ptr<const snapshot::Bundle> bundle =
+        bundleFor(jobs, seed, 500);
+
+    driver::CampaignOptions scratch;
+    scratch.workers = 2;
+    scratch.seed = seed;
+    driver::CampaignReport from_scratch =
+        driver::runCampaign(jobs, scratch);
+
+    driver::CampaignOptions fanned = scratch;
+    fanned.snapshot = bundle;
+    driver::CampaignReport from_snapshot =
+        driver::runCampaign(jobs, fanned);
+
+    // A from-scratch report must not satisfy a snapshot campaign...
+    driver::CampaignOptions fanned_cached = fanned;
+    fanned_cached.cacheReports = {from_scratch};
+    driver::CampaignReport r1 =
+        driver::runCampaign(jobs, fanned_cached);
+    EXPECT_EQ(r1.jobsCached, 0u);
+    EXPECT_EQ(r1.jobsFromSnapshot, jobs.size());
+
+    // ... nor a snapshot report a from-scratch campaign ...
+    driver::CampaignOptions scratch_cached = scratch;
+    scratch_cached.cacheReports = {from_snapshot};
+    driver::CampaignReport r2 =
+        driver::runCampaign(jobs, scratch_cached);
+    EXPECT_EQ(r2.jobsCached, 0u);
+
+    // ... while the matching mode is a full cache hit.
+    driver::CampaignOptions fanned_self = fanned;
+    fanned_self.cacheReports = {from_snapshot};
+    driver::CampaignReport r3 =
+        driver::runCampaign(jobs, fanned_self);
+    EXPECT_EQ(r3.jobsCached, jobs.size());
+}
+
+TEST(SnapshotCampaign, ReportV5RoundTripsFromSnapshotFlag)
+{
+    const uint64_t seed = 9;
+    std::vector<driver::JobSpec> jobs = pinnedMatrix(seed, 50);
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = seed;
+    opts.snapshot = bundleFor(jobs, seed, 500);
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+    ASSERT_EQ(report.jobsFromSnapshot, jobs.size());
+
+    std::ostringstream ss;
+    driver::writeReport(report, ss);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v5");
+    EXPECT_EQ(doc.at("summary").at("jobsFromSnapshot").number(),
+              double(jobs.size()));
+    for (size_t i = 0; i < doc.at("jobs").size(); ++i)
+        EXPECT_TRUE(doc.at("jobs").at(i).at("fromSnapshot").boolean());
+
+    driver::CampaignReport back;
+    ASSERT_TRUE(driver::fromJson(doc, back, &err)) << err;
+    EXPECT_EQ(back.jobsFromSnapshot, report.jobsFromSnapshot);
+    for (size_t i = 0; i < back.jobs.size(); ++i) {
+        EXPECT_TRUE(back.jobs[i].fromSnapshot);
+        EXPECT_EQ(back.jobs[i].specHash, report.jobs[i].specHash);
+    }
+}
+
+TEST(Replay, ReproducesRecordedTimeoutFailure)
+{
+    const uint64_t seed = 5;
+    driver::JobSpec spec;
+    spec.label = "mcf/CHEx86: Micro-code Prediction Driven";
+    spec.profile = profileByName("mcf").scaledBy(50);
+    spec.config.variant.kind = VariantKind::MicrocodePrediction;
+    spec.workloadSeed = seed;
+
+    driver::CampaignOptions opts;
+    opts.workers = 1;
+    opts.seed = seed;
+    opts.isolation = true;
+    opts.timeoutSeconds = 1e-4; // far below any real job's runtime
+    driver::CampaignReport report = driver::runCampaign({spec}, opts);
+    ASSERT_EQ(report.jobs.size(), 1u);
+    ASSERT_TRUE(report.jobs[0].failed);
+    ASSERT_EQ(report.jobs[0].cause, driver::FailureCause::Timeout);
+
+    // Round-trip through JSON like `replay --report` does: the plan
+    // is built from the written report, not in-memory state.
+    std::ostringstream ss;
+    driver::writeReport(report, ss);
+    json::Value doc;
+    std::string err;
+    ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
+    driver::CampaignReport loaded;
+    ASSERT_TRUE(driver::fromJson(doc, loaded, &err)) << err;
+
+    size_t row = 0;
+    ASSERT_TRUE(driver::selectReplayRow(loaded, std::nullopt, &row,
+                                        &err))
+        << err;
+    EXPECT_EQ(row, 0u);
+    driver::ReplayPlan plan;
+    ASSERT_TRUE(driver::planReplay(loaded, row, SystemConfig{}, 50,
+                                   nullptr, &plan, &err))
+        << err;
+    EXPECT_EQ(plan.spec.label, spec.label);
+    EXPECT_FALSE(plan.fromSnapshot);
+
+    // Same watchdog → the recorded failure cause reproduces.
+    driver::CampaignReport rerun =
+        driver::runCampaign({plan.spec}, opts);
+    ASSERT_EQ(rerun.jobs.size(), 1u);
+    std::string detail;
+    EXPECT_TRUE(driver::outcomeReproduced(loaded.jobs[0],
+                                          rerun.jobs[0], &detail))
+        << detail;
+    EXPECT_EQ(rerun.jobs[0].cause, driver::FailureCause::Timeout);
+
+    // Relaxed watchdog → the job passes and the divergence is loud.
+    driver::CampaignOptions relaxed = opts;
+    relaxed.timeoutSeconds = 300.0;
+    driver::CampaignReport passed =
+        driver::runCampaign({plan.spec}, relaxed);
+    ASSERT_EQ(passed.jobsFailed, 0u);
+    EXPECT_FALSE(driver::outcomeReproduced(loaded.jobs[0],
+                                           passed.jobs[0], &detail));
+    EXPECT_NE(detail.find("OUTCOME DIFFERS"), std::string::npos)
+        << detail;
+}
+
+TEST(Replay, PlansFromSnapshotRowsOnlyWithTheirBundle)
+{
+    const uint64_t seed = 9;
+    std::vector<driver::JobSpec> jobs = pinnedMatrix(seed, 50);
+    std::shared_ptr<const snapshot::Bundle> bundle =
+        bundleFor(jobs, seed, 500);
+
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = seed;
+    opts.snapshot = bundle;
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+    ASSERT_EQ(report.jobsFromSnapshot, jobs.size());
+
+    std::string err;
+    driver::ReplayPlan plan;
+    // Without the bundle the row cannot be reconstructed.
+    EXPECT_FALSE(driver::planReplay(report, 0, SystemConfig{}, 50,
+                                    nullptr, &plan, &err));
+    EXPECT_NE(err.find("bundle"), std::string::npos) << err;
+    // With it, the plan verifies against the folded hash and the
+    // replayed job is bit-identical to the campaign row.
+    ASSERT_TRUE(driver::planReplay(report, 0, SystemConfig{}, 50,
+                                   bundle.get(), &plan, &err))
+        << err;
+    EXPECT_TRUE(plan.fromSnapshot);
+    driver::CampaignReport rerun =
+        driver::runCampaign({plan.spec}, opts);
+    ASSERT_EQ(rerun.jobsFailed, 0u);
+    EXPECT_EQ(rerun.jobs[0].specHash, report.jobs[0].specHash);
+    EXPECT_EQ(rerun.jobs[0].run.cycles, report.jobs[0].run.cycles);
+}
+
+TEST(Replay, RefusesUnreconstructibleRows)
+{
+    const uint64_t seed = 9;
+    std::vector<driver::JobSpec> jobs = pinnedMatrix(seed, 50);
+
+    driver::CampaignOptions opts;
+    opts.workers = 2;
+    opts.seed = seed;
+    driver::CampaignReport report = driver::runCampaign(jobs, opts);
+    ASSERT_EQ(report.jobsFailed, 0u);
+
+    std::string err;
+    size_t row = 0;
+    // No failed rows and no explicit index: nothing to replay.
+    EXPECT_FALSE(driver::selectReplayRow(report, std::nullopt, &row,
+                                         &err));
+    EXPECT_NE(err.find("no failed jobs"), std::string::npos) << err;
+    // Out-of-range explicit index.
+    EXPECT_FALSE(driver::selectReplayRow(report, size_t{99}, &row,
+                                         &err));
+    EXPECT_NE(err.find("out of range"), std::string::npos) << err;
+
+    driver::ReplayPlan plan;
+    // A wrong --scale reconstructs a different simulation point;
+    // the hash check refuses it instead of silently replaying it.
+    EXPECT_FALSE(driver::planReplay(report, 0, SystemConfig{}, 7,
+                                    nullptr, &plan, &err));
+    EXPECT_NE(err.find("does not match"), std::string::npos) << err;
+
+    // Body-override jobs have no reconstructible spec (hash 0).
+    driver::JobSpec custom;
+    custom.label = "custom";
+    custom.profile = tinyProfile();
+    custom.body = [](const driver::JobSpec &s, uint64_t sd) {
+        System sys(s.config);
+        sys.load(generateWorkload(s.profile, sd));
+        return sys.run();
+    };
+    driver::CampaignReport cr =
+        driver::runCampaign({custom}, opts);
+    EXPECT_FALSE(driver::planReplay(cr, 0, SystemConfig{}, 1,
+                                    nullptr, &plan, &err));
+    EXPECT_NE(err.find("custom job body"), std::string::npos) << err;
+
+    // Skipped rows of a sharded report never ran here.
+    driver::CampaignOptions sharded = opts;
+    sharded.shardIndex = 0;
+    sharded.shardCount = 2;
+    driver::CampaignReport shard = driver::runCampaign(jobs, sharded);
+    ASSERT_TRUE(shard.jobs[1].skipped);
+    EXPECT_FALSE(driver::planReplay(shard, 1, SystemConfig{}, 50,
+                                    nullptr, &plan, &err));
+    EXPECT_NE(err.find("shard"), std::string::npos) << err;
 }
 
 } // namespace

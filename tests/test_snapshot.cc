@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Checkpoint/restore subsystem tests: snapshot round-trips, the
+ * restore-then-run bit-identity guarantee across variants, and the
+ * strict rejection of mismatched or corrupt snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sim/system.hh"
+#include "snapshot/codec.hh"
+#include "snapshot/snapshot.hh"
+#include "workload/generator.hh"
+#include "workload/profiles.hh"
+
+using namespace chex;
+
+namespace
+{
+
+constexpr uint64_t TestSeed = 12345;
+constexpr uint64_t Warmup = 2000;
+
+BenchmarkProfile
+testProfile()
+{
+    // Allocation-heavy and pointer-intensive, so the warm-up state
+    // exercises the capability table, tracker, and alias machinery.
+    return profileByName("xalancbmk").scaledBy(40);
+}
+
+SystemConfig
+configFor(VariantKind kind)
+{
+    SystemConfig cfg;
+    cfg.variant.kind = kind;
+    return cfg;
+}
+
+/** Fields of RunResult that must survive a pause bit-identically. */
+void
+expectIdenticalResults(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.exited, b.exited);
+    EXPECT_EQ(a.violationDetected, b.violationDetected);
+    EXPECT_EQ(a.hijackedControlFlow, b.hijackedControlFlow);
+    EXPECT_EQ(a.hitMacroCap, b.hitMacroCap);
+    EXPECT_EQ(a.violations.size(), b.violations.size());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.macroOps, b.macroOps);
+    EXPECT_EQ(a.uops, b.uops);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.squashCyclesBranch, b.squashCyclesBranch);
+    EXPECT_EQ(a.squashCyclesAlias, b.squashCyclesAlias);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.capChecksInjected, b.capChecksInjected);
+    EXPECT_EQ(a.zeroIdiomChecks, b.zeroIdiomChecks);
+    EXPECT_EQ(a.injectedUops, b.injectedUops);
+    EXPECT_EQ(a.capCacheMissRate, b.capCacheMissRate);
+    EXPECT_EQ(a.capCacheAccesses, b.capCacheAccesses);
+    EXPECT_EQ(a.aliasCacheMissRate, b.aliasCacheMissRate);
+    EXPECT_EQ(a.aliasCacheAccesses, b.aliasCacheAccesses);
+    EXPECT_EQ(a.aliasPredAccuracy, b.aliasPredAccuracy);
+    EXPECT_EQ(a.p0anFlushes, b.p0anFlushes);
+    EXPECT_EQ(a.pmanForwards, b.pmanForwards);
+    EXPECT_EQ(a.pna0ZeroIdioms, b.pna0ZeroIdioms);
+    EXPECT_EQ(a.pointerSpills, b.pointerSpills);
+    EXPECT_EQ(a.pointerReloads, b.pointerReloads);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    EXPECT_EQ(a.residentBytes, b.residentBytes);
+    EXPECT_EQ(a.shadowBytes, b.shadowBytes);
+    EXPECT_EQ(a.footprintBytes, b.footprintBytes);
+    EXPECT_EQ(a.totalAllocations, b.totalAllocations);
+    EXPECT_EQ(a.maxLiveAllocations, b.maxLiveAllocations);
+    EXPECT_EQ(a.avgAllocationsInUse, b.avgAllocationsInUse);
+}
+
+} // anonymous namespace
+
+TEST(Snapshot, PauseResumeMatchesUninterrupted)
+{
+    BenchmarkProfile p = testProfile();
+    for (VariantKind kind :
+         {VariantKind::Baseline, VariantKind::MicrocodePrediction,
+          VariantKind::MicrocodeAlwaysOn, VariantKind::Asan}) {
+        SystemConfig cfg = configFor(kind);
+
+        System plain(cfg);
+        plain.load(generateWorkload(p, TestSeed));
+        RunResult a = plain.run();
+
+        System paused(cfg);
+        paused.load(generateWorkload(p, TestSeed));
+        ASSERT_TRUE(paused.runMacros(Warmup)) << variantName(kind);
+        EXPECT_TRUE(paused.paused());
+        RunResult b = paused.run();
+
+        SCOPED_TRACE(variantName(kind));
+        expectIdenticalResults(a, b);
+    }
+}
+
+TEST(Snapshot, RestoreRunsBitIdentically)
+{
+    BenchmarkProfile p = testProfile();
+    for (VariantKind kind :
+         {VariantKind::MicrocodePrediction, VariantKind::HardwareOnly,
+          VariantKind::Baseline}) {
+        SCOPED_TRACE(variantName(kind));
+        SystemConfig cfg = configFor(kind);
+
+        System plain(cfg);
+        plain.load(generateWorkload(p, TestSeed));
+        RunResult a = plain.run();
+
+        snapshot::MachineEntry entry;
+        std::string err;
+        ASSERT_TRUE(snapshot::buildEntry(p, cfg, TestSeed, Warmup, 1,
+                                         &entry, &err))
+            << err;
+        EXPECT_EQ(entry.warmupMacros, Warmup);
+        EXPECT_NE(entry.stateHash, 0u);
+
+        System restored(cfg);
+        ASSERT_TRUE(
+            snapshot::restoreEntry(entry, p, cfg, &restored, &err))
+            << err;
+        ASSERT_TRUE(restored.paused());
+        RunResult b = restored.run();
+
+        expectIdenticalResults(a, b);
+    }
+}
+
+TEST(Snapshot, SaveRestoreSaveIsStable)
+{
+    // Restoring a snapshot and snapshotting again must reproduce the
+    // exact serialized document: proof that no state is dropped or
+    // reordered on the way through.
+    BenchmarkProfile p = testProfile();
+    SystemConfig cfg = configFor(VariantKind::MicrocodePrediction);
+
+    snapshot::MachineEntry entry;
+    std::string err;
+    ASSERT_TRUE(
+        snapshot::buildEntry(p, cfg, TestSeed, Warmup, 1, &entry, &err))
+        << err;
+
+    System restored(cfg);
+    ASSERT_TRUE(snapshot::restoreEntry(entry, p, cfg, &restored, &err))
+        << err;
+    json::Value again = restored.saveSnapshot(&err);
+    ASSERT_FALSE(again.isNull()) << err;
+    EXPECT_EQ(entry.state.dump(0), again.dump(0));
+    EXPECT_EQ(entry.stateHash, snapshot::jsonStateHash(again));
+}
+
+TEST(Snapshot, BundleFileRoundTrip)
+{
+    BenchmarkProfile p = testProfile();
+    SystemConfig cfg = configFor(VariantKind::MicrocodePrediction);
+
+    snapshot::Bundle bundle;
+    bundle.campaignSeed = 7;
+    bundle.warmupMacros = Warmup;
+    snapshot::MachineEntry entry;
+    std::string err;
+    ASSERT_TRUE(snapshot::buildEntry(p, cfg, TestSeed, Warmup, 0xabcd,
+                                     &entry, &err))
+        << err;
+    bundle.entries.push_back(std::move(entry));
+
+    std::string path = testing::TempDir() + "/chex_snapshot_rt.json";
+    ASSERT_TRUE(snapshot::writeBundleFile(path, bundle, &err)) << err;
+
+    snapshot::Bundle loaded;
+    ASSERT_TRUE(snapshot::loadBundleFile(path, &loaded, &err)) << err;
+    ASSERT_EQ(loaded.entries.size(), 1u);
+    EXPECT_EQ(loaded.campaignSeed, 7u);
+    EXPECT_EQ(loaded.warmupMacros, Warmup);
+    const snapshot::MachineEntry &e = loaded.entries[0];
+    EXPECT_EQ(e.profileName, p.name);
+    EXPECT_EQ(e.variant,
+              std::string(variantName(VariantKind::MicrocodePrediction)));
+    EXPECT_EQ(e.seed, TestSeed);
+    EXPECT_EQ(e.specKey, 0xabcdu);
+    EXPECT_EQ(e.stateHash, bundle.entries[0].stateHash);
+    EXPECT_EQ(e.state.dump(0), bundle.entries[0].state.dump(0));
+    EXPECT_NE(loaded.findBySpecKey(0xabcd), nullptr);
+    EXPECT_EQ(loaded.findBySpecKey(0x9999), nullptr);
+    EXPECT_EQ(loaded.findBySpecKey(0), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, CorruptBundleRejected)
+{
+    BenchmarkProfile p = testProfile();
+    SystemConfig cfg = configFor(VariantKind::Baseline);
+
+    snapshot::Bundle bundle;
+    snapshot::MachineEntry entry;
+    std::string err;
+    ASSERT_TRUE(
+        snapshot::buildEntry(p, cfg, TestSeed, Warmup, 1, &entry, &err))
+        << err;
+    bundle.entries.push_back(std::move(entry));
+
+    json::Value doc = snapshot::toJson(bundle);
+
+    // Wrong bundle format tag.
+    {
+        json::Value bad = doc;
+        bad.set("format", "chex-snapshot-bundle-v999");
+        snapshot::Bundle out;
+        EXPECT_FALSE(snapshot::fromJson(bad, &out, &err));
+        EXPECT_NE(err.find("format"), std::string::npos) << err;
+    }
+
+    // Tampered state (hash mismatch): flip the saved macro count.
+    {
+        json::Value bad = doc;
+        json::Value state = bundle.entries[0].state;
+        json::Value machine = state.at("machine");
+        machine.set("macroCount", uint64_t{999999});
+        state.set("machine", std::move(machine));
+        json::Value jentries = json::Value::array();
+        json::Value je = bad.at("entries").at(size_t{0});
+        je.set("state", std::move(state));
+        jentries.push(std::move(je));
+        bad.set("entries", std::move(jentries));
+        snapshot::Bundle out;
+        EXPECT_FALSE(snapshot::fromJson(bad, &out, &err));
+        EXPECT_NE(err.find("corrupt"), std::string::npos) << err;
+    }
+}
+
+TEST(Snapshot, MismatchedRestoreRejected)
+{
+    BenchmarkProfile p = testProfile();
+    SystemConfig cfg = configFor(VariantKind::MicrocodePrediction);
+
+    snapshot::MachineEntry entry;
+    std::string err;
+    ASSERT_TRUE(
+        snapshot::buildEntry(p, cfg, TestSeed, Warmup, 1, &entry, &err))
+        << err;
+
+    // Different config (variant changed) -> configHash mismatch.
+    {
+        SystemConfig other = configFor(VariantKind::MicrocodeAlwaysOn);
+        System sys(other);
+        EXPECT_FALSE(
+            snapshot::restoreEntry(entry, p, other, &sys, &err));
+        EXPECT_NE(err.find("configuration mismatch"),
+                  std::string::npos)
+            << err;
+    }
+
+    // Different config (cache geometry changed) -> rejected too.
+    {
+        SystemConfig other = cfg;
+        other.capCacheEntries = 16;
+        System sys(other);
+        EXPECT_FALSE(
+            snapshot::restoreEntry(entry, p, other, &sys, &err));
+        EXPECT_NE(err.find("configuration mismatch"),
+                  std::string::npos)
+            << err;
+    }
+
+    // Different program (other seed) -> programHash mismatch.
+    {
+        System sys(cfg);
+        sys.load(generateWorkload(p, TestSeed + 1));
+        EXPECT_FALSE(sys.restoreSnapshot(entry.state, &err));
+        EXPECT_NE(err.find("program mismatch"), std::string::npos)
+            << err;
+    }
+
+    // Wrong snapshot format tag.
+    {
+        json::Value bad = entry.state;
+        bad.set("format", "chex-snapshot-v999");
+        System sys(cfg);
+        sys.load(generateWorkload(p, TestSeed));
+        EXPECT_FALSE(sys.restoreSnapshot(bad, &err));
+        EXPECT_NE(err.find("format"), std::string::npos) << err;
+    }
+
+    // No program loaded at all.
+    {
+        System sys(cfg);
+        EXPECT_FALSE(sys.restoreSnapshot(entry.state, &err));
+        EXPECT_NE(err.find("no program"), std::string::npos) << err;
+    }
+}
+
+TEST(Snapshot, CheckerConfigNotSnapshottable)
+{
+    SystemConfig cfg = configFor(VariantKind::MicrocodePrediction);
+    cfg.enableChecker = true;
+    cfg.useTableIRules = false;
+    BenchmarkProfile p = testProfile();
+    snapshot::MachineEntry entry;
+    std::string err;
+    EXPECT_FALSE(snapshot::buildEntry(p, cfg, TestSeed, Warmup, 1,
+                                      &entry, &err));
+    EXPECT_NE(err.find("checker"), std::string::npos) << err;
+}
+
+TEST(Snapshot, WarmupPastEndOfRunRejected)
+{
+    BenchmarkProfile p = testProfile();
+    SystemConfig cfg = configFor(VariantKind::Baseline);
+    snapshot::MachineEntry entry;
+    std::string err;
+    EXPECT_FALSE(snapshot::buildEntry(p, cfg, TestSeed,
+                                      uint64_t{1} << 62, 1, &entry,
+                                      &err));
+    EXPECT_NE(err.find("terminated before"), std::string::npos) << err;
+}

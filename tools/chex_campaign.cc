@@ -3,10 +3,14 @@
  * chex-campaign: the command-line front end of the campaign driver,
  * as two subcommands sharing one flag parser (flag_parser.hh):
  *
- *   chex-campaign run    — execute a campaign (or one shard of it)
- *                          and write the JSON report
- *   chex-campaign merge  — recombine shard reports into the one
- *                          report an unsharded run would produce
+ *   chex-campaign run      — execute a campaign (or one shard of
+ *                            it) and write the JSON report
+ *   chex-campaign merge    — recombine shard reports into the one
+ *                            report an unsharded run would produce
+ *   chex-campaign snapshot — warm every (profile, variant) point
+ *                            and write a snapshot bundle
+ *   chex-campaign replay   — re-run one (failed) report row by
+ *                            itself, bit-identically
  *
  * A bare invocation (flags with no subcommand) keeps meaning `run`,
  * so every pre-subcommand command line still works.
@@ -24,6 +28,19 @@
  * as a result cache:
  *
  *   chex-campaign run ... --cache report.json --out report2.json
+ *
+ * Checkpoint once, sweep many: warm each job point past the
+ * workload's warm-up prefix, then fan campaigns out from the
+ * checkpoint instead of re-simulating the prefix per job:
+ *
+ *   chex-campaign snapshot --profiles spec --warmup 50000 \
+ *                          --out warm.chexsnap
+ *   chex-campaign run ... --from-snapshot warm.chexsnap
+ *
+ * Crash triage re-runs a single failed row from the report (plus
+ * the bundle, when the campaign fanned out of one):
+ *
+ *   chex-campaign replay --report report.json --isolate
  */
 
 #include <cstdio>
@@ -31,6 +48,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,8 +58,12 @@
 #include "driver/campaign.hh"
 #include "driver/env.hh"
 #include "driver/merge.hh"
+#include "driver/replay.hh"
 #include "driver/report.hh"
+#include "driver/spec_hash.hh"
 #include "flag_parser.hh"
+#include "snapshot/codec.hh"
+#include "snapshot/snapshot.hh"
 #include "workload/profiles.hh"
 
 using namespace chex;
@@ -103,6 +126,98 @@ listChoices()
                     variantName(kind));
 }
 
+/**
+ * Resolve a --profiles argument ('spec'/'parsec'/'all' or a
+ * comma-separated name list) into --scale-adjusted profiles.
+ * Shared by run and snapshot so both subcommands see the identical
+ * job points — a prerequisite for their spec hashes to line up.
+ */
+bool
+resolveProfiles(const char *ctx, const std::string &arg,
+                uint64_t scale, std::vector<BenchmarkProfile> *out)
+{
+    if (arg == "spec") {
+        *out = specProfiles();
+    } else if (arg == "parsec") {
+        *out = parsecProfiles();
+    } else if (arg == "all") {
+        *out = allProfiles();
+    } else {
+        for (const std::string &name : splitCommas(arg)) {
+            const BenchmarkProfile *p = findProfileByName(name);
+            if (!p) {
+                std::fprintf(stderr,
+                             "%s: unknown profile '%s' (see "
+                             "--list)\n",
+                             ctx, name.c_str());
+                return false;
+            }
+            out->push_back(*p);
+        }
+    }
+    for (BenchmarkProfile &p : *out)
+        p = p.scaledBy(scale);
+    return true;
+}
+
+/** Resolve a --variants argument ('all' or comma-separated CLI
+ * tokens); shared by run and snapshot like resolveProfiles. */
+bool
+resolveVariants(const char *ctx, const std::string &arg,
+                std::vector<VariantKind> *out)
+{
+    if (arg == "all") {
+        for (const auto &[token, kind] : variantTokens())
+            out->push_back(kind);
+        return true;
+    }
+    for (const std::string &token : splitCommas(arg)) {
+        auto it = variantTokens().find(token);
+        if (it == variantTokens().end()) {
+            std::fprintf(stderr,
+                         "%s: unknown variant '%s' (see --list)\n",
+                         ctx, token.c_str());
+            return false;
+        }
+        out->push_back(it->second);
+    }
+    return true;
+}
+
+/**
+ * The (profile x variant) x reps job list both run and snapshot
+ * enumerate. A single rep pins the workload seed so every variant
+ * sees the identical program; with reps the driver derives per-job
+ * seeds instead.
+ */
+std::vector<driver::JobSpec>
+buildSpecs(const std::vector<BenchmarkProfile> &profiles,
+           const std::vector<VariantKind> &variants, uint64_t reps,
+           uint64_t seed)
+{
+    std::vector<driver::JobSpec> specs;
+    for (const BenchmarkProfile &p : profiles) {
+        for (VariantKind kind : variants) {
+            for (uint64_t r = 0; r < reps; ++r) {
+                driver::JobSpec spec;
+                spec.label = p.name + std::string("/") +
+                             variantName(kind);
+                if (reps > 1)
+                    spec.label += csprintf("#%llu",
+                                           static_cast<unsigned long
+                                                       long>(r));
+                spec.profile = p;
+                spec.config.variant.kind = kind;
+                spec.repetition = static_cast<unsigned>(r);
+                if (reps == 1)
+                    spec.workloadSeed = seed;
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+    return specs;
+}
+
 int
 runMain(const char *argv0, int argc, char **argv, int begin,
         bool bare)
@@ -125,13 +240,14 @@ runMain(const char *argv0, int argc, char **argv, int begin,
     bool quiet = false;
     std::vector<std::string> cache_paths = env.cachePaths;
     bool no_cache = false;
+    std::string snapshot_path = env.snapshotPath;
     bool list_only = false;
 
     cli::FlagParser parser(
         argv0, bare ? "" : "run",
         "Run a simulation campaign (profiles x variants x reps) on "
         "a\nworker thread pool and emit a JSON report "
-        "(chex-campaign-report-v4).");
+        "(chex-campaign-report-v5).");
     parser.add("--profiles", "LIST",
                "comma-separated profile names, or one of\n"
                "'spec', 'parsec', 'all' (default: spec)",
@@ -217,10 +333,22 @@ runMain(const char *argv0, int argc, char **argv, int begin,
                [&](const std::string &v) {
                    cache_paths.push_back(v);
                    return true;
-               });
+               },
+               cli::Repeat::Allowed);
     parser.add("--no-cache",
                "ignore --cache and $CHEX_BENCH_CACHE",
                [&]() { no_cache = true; });
+    parser.add("--from-snapshot", "FILE",
+               "fan the campaign out from the warmed machine\n"
+               "states in a snapshot bundle written by the\n"
+               "`snapshot` subcommand (also seeded from\n"
+               "$CHEX_BENCH_SNAPSHOT). Jobs with a matching\n"
+               "bundle entry restore it instead of running\n"
+               "the warm-up prefix from scratch",
+               [&](const std::string &v) {
+                   snapshot_path = v;
+                   return true;
+               });
     parser.add("--out", "FILE", "write the JSON report to FILE",
                [&](const std::string &v) {
                    out_path = v;
@@ -253,66 +381,19 @@ runMain(const char *argv0, int argc, char **argv, int begin,
         isolate = true;
     }
 
-    // Resolve profiles.
     std::vector<BenchmarkProfile> profiles;
-    if (profiles_arg == "spec") {
-        profiles = specProfiles();
-    } else if (profiles_arg == "parsec") {
-        profiles = parsecProfiles();
-    } else if (profiles_arg == "all") {
-        profiles = allProfiles();
-    } else {
-        for (const std::string &name : splitCommas(profiles_arg))
-            profiles.push_back(profileByName(name)); // fatal if unknown
-    }
-    for (BenchmarkProfile &p : profiles)
-        p = p.scaledBy(scale);
-
-    // Resolve variants.
     std::vector<VariantKind> variants;
-    if (variants_arg == "all") {
-        for (const auto &[token, kind] : variantTokens())
-            variants.push_back(kind);
-    } else {
-        for (const std::string &token : splitCommas(variants_arg)) {
-            auto it = variantTokens().find(token);
-            if (it == variantTokens().end()) {
-                std::fprintf(stderr,
-                             "%s: unknown variant '%s' (see --list)\n",
-                             argv0, token.c_str());
-                return 2;
-            }
-            variants.push_back(it->second);
-        }
+    if (!resolveProfiles(argv0, profiles_arg, scale, &profiles) ||
+        !resolveVariants(argv0, variants_arg, &variants)) {
+        return 2;
     }
     if (profiles.empty() || variants.empty()) {
         std::fprintf(stderr, "%s: nothing to run\n", argv0);
         return 2;
     }
 
-    // Build the job list: (profile x variant) x reps. A single rep
-    // pins the workload seed so every variant sees the identical
-    // program; with reps the driver derives per-job seeds instead.
-    std::vector<driver::JobSpec> specs;
-    for (const BenchmarkProfile &p : profiles) {
-        for (VariantKind kind : variants) {
-            for (uint64_t r = 0; r < reps; ++r) {
-                driver::JobSpec spec;
-                spec.label = p.name + std::string("/") +
-                             variantName(kind);
-                if (reps > 1)
-                    spec.label += csprintf("#%llu",
-                                           static_cast<unsigned long
-                                                       long>(r));
-                spec.profile = p;
-                spec.config.variant.kind = kind;
-                spec.repetition = static_cast<unsigned>(r);
-                if (reps == 1)
-                    spec.workloadSeed = seed;
-                specs.push_back(std::move(spec));
-            }
-        }
-    }
+    std::vector<driver::JobSpec> specs =
+        buildSpecs(profiles, variants, reps, seed);
 
     // Open the report file before burning simulation time on the
     // campaign, so a bad path fails fast.
@@ -350,6 +431,21 @@ runMain(const char *argv0, int argc, char **argv, int begin,
             return 2;
         }
         opts.cacheReports.push_back(std::move(prior));
+    }
+
+    // The snapshot bundle gets the same hard-error policy as the
+    // cache: an explicit --from-snapshot that cannot be honored must
+    // not silently degrade into re-simulating every warm-up prefix.
+    if (!snapshot_path.empty()) {
+        snapshot::Bundle bundle;
+        std::string err;
+        if (!snapshot::loadBundleFile(snapshot_path, &bundle, &err)) {
+            std::fprintf(stderr, "%s: snapshot %s\n", argv0,
+                         err.c_str());
+            return 2;
+        }
+        opts.snapshot = std::make_shared<const snapshot::Bundle>(
+            std::move(bundle));
     }
 
     size_t in_shard = 0;
@@ -390,11 +486,12 @@ runMain(const char *argv0, int argc, char **argv, int begin,
 
     driver::CampaignReport report = driver::runCampaign(specs, opts);
 
-    std::printf("\ncampaign: %zu jobs (%zu cached, %zu failed, "
-                "%zu out of shard) on %u workers, %.2fs wall "
-                "(serial %.2fs, speedup %.2fx), aggregate ipc "
-                "%.2f\n",
-                report.jobsRun, report.jobsCached, report.jobsFailed,
+    std::printf("\ncampaign: %zu jobs (%zu cached, %zu from "
+                "snapshot, %zu failed, %zu out of shard) on %u "
+                "workers, %.2fs wall (serial %.2fs, speedup "
+                "%.2fx), aggregate ipc %.2f\n",
+                report.jobsRun, report.jobsCached,
+                report.jobsFromSnapshot, report.jobsFailed,
                 report.jobsSkipped, report.workers,
                 report.wallSeconds, report.serialSeconds,
                 report.speedup, report.aggregateIpc);
@@ -405,6 +502,316 @@ runMain(const char *argv0, int argc, char **argv, int begin,
     }
 
     return report.jobsFailed ? 1 : 0;
+}
+
+int
+snapshotMain(const char *argv0, int argc, char **argv, int begin)
+{
+    driver::EnvOptions env = driver::optionsFromEnv();
+
+    std::string profiles_arg = "spec";
+    std::string variants_arg = "baseline,ucode-pred";
+    std::string out_path;
+    uint64_t seed = 1;
+    uint64_t scale = env.scale;
+    uint64_t warmup = 2000;
+    bool quiet = false;
+    bool list_only = false;
+
+    cli::FlagParser parser(
+        argv0, "snapshot",
+        "Warm every (profile x variant) job point to --warmup "
+        "macro-ops\nand write the paused machine states as a "
+        "snapshot bundle\n(chex-snapshot-bundle-v1). `run "
+        "--from-snapshot` then fans its\njobs out from the bundle "
+        "instead of re-simulating each job's\nwarm-up prefix. The "
+        "bundle matches only campaigns with the\nidentical "
+        "profiles/variants/seed/scale (single-rep), because\nentries "
+        "are keyed by the driver's canonical spec hash.");
+    parser.add("--profiles", "LIST",
+               "comma-separated profile names, or one of\n"
+               "'spec', 'parsec', 'all' (default: spec)",
+               [&](const std::string &v) {
+                   profiles_arg = v;
+                   return true;
+               });
+    parser.add("--variants", "LIST",
+               "comma-separated variant tokens, or 'all'\n"
+               "(default: baseline,ucode-pred)",
+               [&](const std::string &v) {
+                   variants_arg = v;
+                   return true;
+               });
+    parser.add("--seed", "S", "campaign seed (default: 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, seed);
+               });
+    parser.add("--scale", "K",
+               "divide workload iteration counts by K\n"
+               "(default: $CHEX_BENCH_SCALE or 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, scale);
+               });
+    parser.add("--warmup", "N",
+               "macro-ops to execute before checkpointing\n"
+               "each machine (default: 2000)",
+               [&](const std::string &v) {
+                   return parseUint(v, warmup);
+               });
+    parser.add("--out", "FILE",
+               "write the snapshot bundle to FILE (required)",
+               [&](const std::string &v) {
+                   out_path = v;
+                   return true;
+               });
+    parser.add("--quiet", "suppress per-machine progress lines",
+               [&]() { quiet = true; });
+    parser.add("--list", "list profiles and variant tokens, exit",
+               [&]() { list_only = true; });
+
+    switch (parser.parse(argc, argv, begin)) {
+      case cli::ParseStatus::Ok: break;
+      case cli::ParseStatus::ExitOk: return 0;
+      case cli::ParseStatus::ExitUsage: return 2;
+    }
+    if (list_only) {
+        listChoices();
+        return 0;
+    }
+
+    std::string ctx = std::string(argv0) + " snapshot";
+    if (out_path.empty()) {
+        std::fprintf(stderr, "%s: --out is required\n", ctx.c_str());
+        return 2;
+    }
+    if (scale == 0)
+        scale = 1;
+    if (warmup == 0) {
+        std::fprintf(stderr,
+                     "%s: --warmup must be at least 1 macro-op\n",
+                     ctx.c_str());
+        return 2;
+    }
+
+    std::vector<BenchmarkProfile> profiles;
+    std::vector<VariantKind> variants;
+    if (!resolveProfiles(ctx.c_str(), profiles_arg, scale,
+                         &profiles) ||
+        !resolveVariants(ctx.c_str(), variants_arg, &variants)) {
+        return 2;
+    }
+    if (profiles.empty() || variants.empty()) {
+        std::fprintf(stderr, "%s: nothing to snapshot\n",
+                     ctx.c_str());
+        return 2;
+    }
+
+    // Enumerate exactly the single-rep job list `run` would build:
+    // the per-entry specKey must equal the spec hash the driver
+    // computes for the matching job, or the fan-out finds nothing.
+    std::vector<driver::JobSpec> specs =
+        buildSpecs(profiles, variants, /*reps=*/1, seed);
+
+    snapshot::Bundle bundle;
+    bundle.campaignSeed = seed;
+    bundle.warmupMacros = warmup;
+    bundle.entries.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        const driver::JobSpec &spec = specs[i];
+        snapshot::MachineEntry entry;
+        std::string err;
+        if (!snapshot::buildEntry(spec.profile, spec.config, seed,
+                                  warmup,
+                                  driver::specHash(spec, seed),
+                                  &entry, &err)) {
+            std::fprintf(stderr, "%s: %s: %s\n", ctx.c_str(),
+                         spec.label.c_str(), err.c_str());
+            return 1;
+        }
+        if (!quiet) {
+            std::printf("[%3zu/%zu] %-40s warmed %llu macro-ops  "
+                        "state %s\n",
+                        i + 1, specs.size(), spec.label.c_str(),
+                        static_cast<unsigned long long>(
+                            entry.warmupMacros),
+                        snapshot::stateHashHex(entry.stateHash)
+                            .c_str());
+            std::fflush(stdout);
+        }
+        bundle.entries.push_back(std::move(entry));
+    }
+
+    std::string err;
+    if (!snapshot::writeBundleFile(out_path, bundle, &err)) {
+        std::fprintf(stderr, "%s: %s\n", ctx.c_str(), err.c_str());
+        return 1;
+    }
+    std::printf("bundle: %s (%zu machine states, warm-up %llu "
+                "macro-ops, seed %llu)\n",
+                out_path.c_str(), bundle.entries.size(),
+                static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(seed));
+    return 0;
+}
+
+int
+replayMain(const char *argv0, int argc, char **argv, int begin)
+{
+    driver::EnvOptions env = driver::optionsFromEnv();
+
+    std::string report_path;
+    std::string snapshot_path = env.snapshotPath;
+    std::optional<size_t> index;
+    uint64_t scale = env.scale;
+    bool isolate = env.isolate;
+    double timeout = env.timeoutSeconds;
+    bool quiet = false;
+
+    cli::FlagParser parser(
+        argv0, "replay",
+        "Re-run one row of a campaign report as a single job, "
+        "pinned to\nthe recorded profile/variant/seed (and, for "
+        "from-snapshot rows,\nthe recorded checkpoint). The "
+        "reconstructed spec must hash to\nexactly what the report "
+        "recorded, so a replay of a different\nsimulation point is "
+        "refused rather than run. Exits 0 when the\nreplayed "
+        "outcome matches the recorded one (same failure cause\nor "
+        "same success), 1 when it differs.");
+    parser.add("--report", "FILE",
+               "the campaign report to replay from (required)",
+               [&](const std::string &v) {
+                   report_path = v;
+                   return true;
+               });
+    parser.add("--index", "N",
+               "report row to replay (default: the first\n"
+               "failed row)",
+               [&](const std::string &v) {
+                   uint64_t n;
+                   if (!parseUint(v, n))
+                       return false;
+                   index = static_cast<size_t>(n);
+                   return true;
+               });
+    parser.add("--from-snapshot", "FILE",
+               "the snapshot bundle the campaign fanned out\n"
+               "from; required to replay from-snapshot rows\n"
+               "(also seeded from $CHEX_BENCH_SNAPSHOT)",
+               [&](const std::string &v) {
+                   snapshot_path = v;
+                   return true;
+               });
+    parser.add("--scale", "K",
+               "the --scale the original campaign ran with\n"
+               "(default: $CHEX_BENCH_SCALE or 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, scale);
+               });
+    parser.add("--isolate",
+               "fork the replayed job into its own child\n"
+               "process, so a crash reproduces as a failed\n"
+               "job (cause: signal) instead of killing the\n"
+               "replay",
+               [&]() { isolate = true; });
+    parser.add("--timeout", "SECS",
+               "per-attempt wall-clock watchdog for the\n"
+               "replayed job. Implies --isolate",
+               [&](const std::string &v) {
+                   char *end = nullptr;
+                   double t = std::strtod(v.c_str(), &end);
+                   if (!end || *end != '\0' || !(t >= 0.0))
+                       return false;
+                   timeout = t;
+                   return true;
+               });
+    parser.add("--quiet", "suppress the replay progress line",
+               [&]() { quiet = true; });
+
+    switch (parser.parse(argc, argv, begin)) {
+      case cli::ParseStatus::Ok: break;
+      case cli::ParseStatus::ExitOk: return 0;
+      case cli::ParseStatus::ExitUsage: return 2;
+    }
+
+    std::string ctx = std::string(argv0) + " replay";
+    if (report_path.empty()) {
+        std::fprintf(stderr, "%s: --report is required\n",
+                     ctx.c_str());
+        return 2;
+    }
+    if (scale == 0)
+        scale = 1;
+    if (timeout > 0.0 && !isolate)
+        isolate = true;
+
+    driver::CampaignReport report;
+    std::string err;
+    if (!driver::loadReportFile(report_path, report, &err)) {
+        std::fprintf(stderr, "%s: %s\n", ctx.c_str(), err.c_str());
+        return 2;
+    }
+
+    std::shared_ptr<const snapshot::Bundle> bundle;
+    if (!snapshot_path.empty()) {
+        snapshot::Bundle b;
+        if (!snapshot::loadBundleFile(snapshot_path, &b, &err)) {
+            std::fprintf(stderr, "%s: snapshot %s\n", ctx.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        bundle =
+            std::make_shared<const snapshot::Bundle>(std::move(b));
+    }
+
+    size_t row = 0;
+    if (!driver::selectReplayRow(report, index, &row, &err)) {
+        std::fprintf(stderr, "%s: %s\n", ctx.c_str(), err.c_str());
+        return 2;
+    }
+
+    driver::ReplayPlan plan;
+    if (!driver::planReplay(report, row, SystemConfig{}, scale,
+                            bundle.get(), &plan, &err)) {
+        std::fprintf(stderr, "%s: %s\n", ctx.c_str(), err.c_str());
+        return 2;
+    }
+    const driver::JobResult &recorded = report.jobs[plan.index];
+
+    if (!quiet) {
+        std::printf("replaying job %zu: %-40s seed %llu  spec %s%s\n",
+                    plan.index, recorded.label.c_str(),
+                    static_cast<unsigned long long>(recorded.seed),
+                    driver::specHashHex(recorded.specHash).c_str(),
+                    plan.fromSnapshot ? "  (from snapshot)" : "");
+        std::fflush(stdout);
+    }
+
+    driver::CampaignOptions opts;
+    opts.workers = 1;
+    opts.seed = report.seed;
+    opts.isolation = isolate;
+    opts.timeoutSeconds = timeout;
+    opts.snapshot = bundle;
+
+    driver::CampaignReport rerun =
+        driver::runCampaign({plan.spec}, opts);
+    if (rerun.jobs.size() != 1) {
+        std::fprintf(stderr, "%s: replay produced %zu jobs\n",
+                     ctx.c_str(), rerun.jobs.size());
+        return 2;
+    }
+    const driver::JobResult &replayed = rerun.jobs[0];
+
+    std::string detail;
+    bool same = driver::outcomeReproduced(recorded, replayed,
+                                          &detail);
+    std::printf("replay: %s\n", detail.c_str());
+    if (!replayed.failed) {
+        std::printf("replay: %lu cycles, ipc %.2f, %.2fs\n",
+                    static_cast<unsigned long>(replayed.run.cycles),
+                    replayed.run.ipc, replayed.wallSeconds);
+    }
+    return same ? 0 : 1;
 }
 
 int
@@ -508,6 +915,10 @@ globalUsage(const char *argv0, FILE *out)
         "  run       run a simulation campaign (the default: a bare\n"
         "            `%s [options]` invocation means `run`)\n"
         "  merge     merge shard reports from `run --shard I/N`\n"
+        "  snapshot  warm every job point and write a snapshot\n"
+        "            bundle for `run --from-snapshot`\n"
+        "  replay    re-run one (failed) report row by itself,\n"
+        "            bit-identically to its campaign run\n"
         "\n"
         "run '%s <command> --help' for per-command options\n",
         argv0, argv0, argv0);
@@ -524,6 +935,10 @@ main(int argc, char **argv)
             return runMain(argv[0], argc, argv, 2, false);
         if (first == "merge")
             return mergeMain(argv[0], argc, argv, 2);
+        if (first == "snapshot")
+            return snapshotMain(argv[0], argc, argv, 2);
+        if (first == "replay")
+            return replayMain(argv[0], argc, argv, 2);
         if (first == "help" || first == "--help" || first == "-h") {
             globalUsage(argv[0], stdout);
             return 0;

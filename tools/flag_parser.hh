@@ -12,6 +12,13 @@
  * parser owns all error reporting, so every bad invocation prints
  * the same "tool subcommand: message" shape followed by a usage
  * pointer.
+ *
+ * Flags are single-occurrence by default: a duplicate is rejected
+ * with a clear error instead of silently taking the last value
+ * (where "--shard 0/2 ... --shard 1/2" pasted across shell history
+ * would quietly run the wrong shard). Flags that genuinely
+ * accumulate (the run subcommand's --cache) opt in via
+ * Repeat::Allowed.
  */
 
 #ifndef CHEX_TOOLS_FLAG_PARSER_HH
@@ -33,6 +40,13 @@ enum class ParseStatus
     Ok,       // flags consumed; proceed with the subcommand
     ExitOk,   // --help was handled; exit 0
     ExitUsage // bad invocation (already reported); exit 2
+};
+
+/** Whether a flag may appear more than once on one command line. */
+enum class Repeat
+{
+    Once,   // duplicate occurrences are a usage error (the default)
+    Allowed // each occurrence invokes the handler (e.g. --cache)
 };
 
 class FlagParser
@@ -59,18 +73,21 @@ class FlagParser
     void
     add(const std::string &name, const std::string &metavar,
         const std::string &help,
-        std::function<bool(const std::string &)> handler)
+        std::function<bool(const std::string &)> handler,
+        Repeat repeat = Repeat::Once)
     {
-        _flags.push_back(
-            {name, metavar, help, std::move(handler), nullptr});
+        _flags.push_back({name, metavar, help, std::move(handler),
+                          nullptr, repeat});
     }
 
-    /** A boolean switch: `--name` with no value. */
+    /** A boolean switch: `--name` with no value. Switches are
+     * idempotent, so repeating one is harmless and allowed. */
     void
     add(const std::string &name, const std::string &help,
         std::function<void()> handler)
     {
-        _flags.push_back({name, "", help, nullptr, std::move(handler)});
+        _flags.push_back({name, "", help, nullptr,
+                          std::move(handler), Repeat::Allowed});
     }
 
     /**
@@ -94,6 +111,7 @@ class FlagParser
     ParseStatus
     parse(int argc, char **argv, int begin)
     {
+        std::vector<bool> seen(_flags.size(), false);
         for (int i = begin; i < argc; ++i) {
             std::string arg = argv[i];
             if (arg == "--help" || arg == "-h") {
@@ -109,6 +127,14 @@ class FlagParser
             const Flag *flag = find(arg);
             if (!flag)
                 return unknown(arg);
+            size_t slot = static_cast<size_t>(flag - _flags.data());
+            if (flag->repeat == Repeat::Once && seen[slot]) {
+                std::fprintf(stderr,
+                             "%s: %s given more than once\n",
+                             context().c_str(), arg.c_str());
+                return ParseStatus::ExitUsage;
+            }
+            seen[slot] = true;
             if (flag->onSwitch) {
                 flag->onSwitch();
                 continue;
@@ -165,6 +191,7 @@ class FlagParser
         std::string help;
         std::function<bool(const std::string &)> onValue;
         std::function<void()> onSwitch;
+        Repeat repeat = Repeat::Once;
     };
 
     std::string
