@@ -180,7 +180,7 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
     std::string base = prefix.empty() ? _name : prefix + "." + _name;
     for (const auto &[name, entry] : scalars) {
-        os << base << "." << name << " = " << entry.stat->value()
+        os << base << "." << name << " = " << entry.stat->count()
            << "   # " << entry.desc << "\n";
     }
     for (const auto &[name, entry] : formulas) {
@@ -203,8 +203,10 @@ json::Value
 StatGroup::toJson() const
 {
     json::Value obj = json::Value::object();
+    // Exact integer counts: json::Value keeps uint64 values exact,
+    // so counters survive the 2^53 double-precision cliff in dumps.
     for (const auto &[name, entry] : scalars)
-        obj.set(name, entry.stat->value());
+        obj.set(name, entry.stat->count());
     for (const auto &[name, entry] : formulas)
         obj.set(name, entry.formula());
     for (const auto &[name, entry] : histograms) {

@@ -26,23 +26,34 @@ namespace chex
 namespace stats
 {
 
-/** A named scalar counter; behaves like a double. */
+/**
+ * A named scalar counter. Counts are held as a uint64_t — every
+ * producer in the simulator increments by whole events — and only
+ * widened to double at dump/read time (value()). A double-backed
+ * counter silently stops incrementing past 2^53 (adding 1.0 to
+ * 9007199254740992.0 is a no-op), exactly the regime long
+ * snapshot-fanned campaigns reach; the integer backing also keeps
+ * the per-event increment off the FP unit on the fetch→retire hot
+ * path.
+ */
 class Scalar
 {
   public:
     Scalar() = default;
 
-    Scalar &operator+=(double d) { _value += d; return *this; }
-    Scalar &operator-=(double d) { _value -= d; return *this; }
-    Scalar &operator++() { _value += 1.0; return *this; }
-    void operator++(int) { _value += 1.0; }
-    Scalar &operator=(double d) { _value = d; return *this; }
+    Scalar &operator+=(uint64_t n) { _count += n; return *this; }
+    Scalar &operator++() { ++_count; return *this; }
+    void operator++(int) { ++_count; }
+    Scalar &operator=(uint64_t n) { _count = n; return *this; }
 
-    double value() const { return _value; }
-    void reset() { _value = 0.0; }
+    /** Exact integer count. */
+    uint64_t count() const { return _count; }
+    /** Widened for formulas and JSON (may round past 2^53). */
+    double value() const { return static_cast<double>(_count); }
+    void reset() { _count = 0; }
 
   private:
-    double _value = 0.0;
+    uint64_t _count = 0;
 };
 
 /**

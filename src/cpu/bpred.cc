@@ -12,8 +12,27 @@ BranchPredictor::BranchPredictor(const BranchPredictorConfig &cfg_in)
       tagged(cfg.taggedTables,
              std::vector<TaggedEntry>(cfg.taggedEntries)),
       btb(cfg.btbEntries),
-      ras(cfg.rasEntries, 0)
+      ras(cfg.rasEntries, 0),
+      foldIdx(cfg.taggedTables, 0),
+      foldTagA(cfg.taggedTables, 0),
+      foldTagB(cfg.taggedTables, 0)
 {
+    while ((1u << taggedIdxBits) < cfg.taggedEntries)
+        ++taggedIdxBits;
+}
+
+void
+BranchPredictor::refreshFolds() const
+{
+    if (foldsValid)
+        return;
+    for (unsigned t = 0; t < cfg.taggedTables; ++t) {
+        foldIdx[t] = foldedHistory(cfg.historyLengths[t], taggedIdxBits);
+        foldTagA[t] = foldedHistory(cfg.historyLengths[t], cfg.tagBits);
+        foldTagB[t] =
+            foldedHistory(cfg.historyLengths[t], cfg.tagBits - 1);
+    }
+    foldsValid = true;
 }
 
 unsigned
@@ -38,24 +57,16 @@ BranchPredictor::foldedHistory(unsigned length, unsigned bits) const
 unsigned
 BranchPredictor::taggedIndex(uint64_t pc, unsigned table) const
 {
-    unsigned bits = 0;
-    unsigned n = cfg.taggedEntries;
-    while ((1u << bits) < n)
-        ++bits;
-    uint64_t idx = (pc >> 2) ^ (pc >> 11) ^
-                   foldedHistory(cfg.historyLengths[table], bits);
+    refreshFolds();
+    uint64_t idx = (pc >> 2) ^ (pc >> 11) ^ foldIdx[table];
     return static_cast<unsigned>(idx % cfg.taggedEntries);
 }
 
 uint16_t
 BranchPredictor::taggedTag(uint64_t pc, unsigned table) const
 {
-    uint64_t tag = (pc >> 2) ^
-                   foldedHistory(cfg.historyLengths[table],
-                                 cfg.tagBits) ^
-                   (foldedHistory(cfg.historyLengths[table],
-                                  cfg.tagBits - 1)
-                    << 1);
+    refreshFolds();
+    uint64_t tag = (pc >> 2) ^ foldTagA[table] ^ (foldTagB[table] << 1);
     return static_cast<uint16_t>(tag & ((1u << cfg.tagBits) - 1));
 }
 
@@ -166,6 +177,7 @@ BranchPredictor::update(uint64_t pc, bool taken, uint64_t target,
         }
 
         history = (history << 1) | (taken ? 1 : 0);
+        foldsValid = false;
     }
 
     if (taken) {
@@ -281,6 +293,7 @@ BranchPredictor::restoreState(const json::Value &v)
         ras[i] = jras->at(i).asUint64();
     rasTop = json::getUint(v, "rasTop", 0);
     history = json::getUint(v, "history", 0);
+    foldsValid = false;
     numLookups = json::getUint(v, "numLookups", 0);
     numDirWrong = json::getUint(v, "numDirWrong", 0);
     numTargetWrong = json::getUint(v, "numTargetWrong", 0);

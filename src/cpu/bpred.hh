@@ -109,6 +109,23 @@ class BranchPredictor
 
     uint64_t history = 0; // global history (youngest bit 0)
 
+    /**
+     * Per-table folded-history memo. predict() and update() both
+     * fold the global history for every tagged table (index fold
+     * plus two tag folds), but the history only changes once per
+     * conditional branch — so the folds are computed lazily on the
+     * first use after each history change and reused until the next
+     * one. Purely a host-side cache: fold values are identical to
+     * recomputing.
+     */
+    void refreshFolds() const;
+    mutable bool foldsValid = false;
+    mutable std::vector<uint64_t> foldIdx;  // bits = taggedIdxBits
+    mutable std::vector<uint64_t> foldTagA; // bits = tagBits
+    mutable std::vector<uint64_t> foldTagB; // bits = tagBits - 1
+
+    unsigned taggedIdxBits = 0; // ceil(log2(taggedEntries))
+
     uint64_t numLookups = 0;
     uint64_t numDirWrong = 0;
     uint64_t numTargetWrong = 0;

@@ -185,12 +185,10 @@ Core::addUop(const UopTimingIn &in)
         complete = issue + lat;
 
         if (is_load) {
-            uint64_t word = in.effAddr >> 3;
-            auto fwd = storeForward.find(word);
-            if (fwd != storeForward.end() &&
-                fwd->second + 256 > issue) {
+            const uint64_t *fwd = storeForward.lookup(in.effAddr >> 3);
+            if (fwd && *fwd + 256 > issue) {
                 // Store-to-load forwarding out of the store queue.
-                complete = std::max(issue + 2, fwd->second + 1);
+                complete = std::max(issue + 2, *fwd + 1);
             } else {
                 complete = issue + lat +
                            hier.dataAccess(in.effAddr, false) - 1;
@@ -198,7 +196,7 @@ Core::addUop(const UopTimingIn &in)
         } else if (is_store) {
             // Data is forwardable once the store executes; the cache
             // write is post-commit and charged for traffic only.
-            storeForward[in.effAddr >> 3] = complete;
+            storeForward.insert(in.effAddr >> 3, complete);
             if (storeForward.size() > 8192)
                 storeForward.clear();
             hier.dataAccess(in.effAddr, true);
@@ -289,8 +287,11 @@ Core::saveState() const
     for (uint64_t r : regReady)
         jready.push(r);
 
-    std::vector<std::pair<uint64_t, uint64_t>> fwd(storeForward.begin(),
-                                                   storeForward.end());
+    std::vector<std::pair<uint64_t, uint64_t>> fwd;
+    fwd.reserve(storeForward.size());
+    storeForward.forEach([&](uint64_t word, uint64_t ready) {
+        fwd.emplace_back(word, ready);
+    });
     std::sort(fwd.begin(), fwd.end());
     json::Value jfwd = json::Value::array();
     for (const auto &[word, ready] : fwd) {
@@ -396,8 +397,8 @@ Core::restoreState(const json::Value &v)
     for (const json::Value &pair : jfwd->items()) {
         if (!pair.isArray() || pair.size() != 2)
             return false;
-        storeForward[pair.at(size_t(0)).asUint64()] =
-            pair.at(size_t(1)).asUint64();
+        storeForward.insert(pair.at(size_t(0)).asUint64(),
+                            pair.at(size_t(1)).asUint64());
     }
 
     fetchCycle = json::getUint(v, "fetchCycle", 0);

@@ -17,11 +17,11 @@
 #define CHEX_CPU_CORE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "base/stats.hh"
 #include "cpu/bpred.hh"
 #include "cpu/resource.hh"
+#include "cpu/store_forward.hh"
 #include "isa/decoder.hh"
 #include "isa/uops.hh"
 #include "mem/hierarchy.hh"
@@ -177,7 +177,7 @@ class Core
 
     // Dataflow
     uint64_t regReady[NumArchRegs] = {};
-    std::unordered_map<uint64_t, uint64_t> storeForward; // word->ready
+    StoreForwardTable storeForward; // word->ready
 
     // Per-macro bookkeeping
     uint64_t curPc = 0;

@@ -32,6 +32,12 @@ class ResourceCalendar
         : _width(width), used(horizon, 0)
     {
         chex_assert(width > 0 && horizon > 0, "bad calendar");
+        // cycle % horizon == cycle & (horizon - 1) for power-of-two
+        // horizons; index() runs several times per micro-op, so skip
+        // the divide when the geometry allows (it always does with
+        // the default horizon).
+        if ((horizon & (horizon - 1)) == 0)
+            _mask = horizon - 1;
     }
 
     /**
@@ -89,7 +95,11 @@ class ResourceCalendar
     /** @} */
 
   private:
-    size_t index(uint64_t cycle) const { return cycle % used.size(); }
+    size_t
+    index(uint64_t cycle) const
+    {
+        return _mask ? (cycle & _mask) : (cycle % used.size());
+    }
 
     void
     slideTo(uint64_t cycle)
@@ -104,6 +114,7 @@ class ResourceCalendar
     }
 
     unsigned _width;
+    uint64_t _mask = 0; // horizon-1 when horizon is a power of two
     std::vector<uint8_t> used;
     uint64_t base = 0;
 };
@@ -130,15 +141,21 @@ class OccupancyWindow
     uint64_t
     allocBound() const
     {
-        return releaseCycles[head % cap];
+        return releaseCycles[headIdx];
     }
 
     /** Record the release cycle of the entry just allocated. */
     void
     push(uint64_t release_cycle)
     {
-        releaseCycles[head % cap] = release_cycle;
+        // headIdx tracks head % cap incrementally: the capacities
+        // (224/64/72/56/180/168) are not powers of two, and six of
+        // these run per micro-op, so the wrapped counter replaces an
+        // integer divide with a compare.
+        releaseCycles[headIdx] = release_cycle;
         ++head;
+        if (++headIdx == cap)
+            headIdx = 0;
     }
 
     unsigned capacity() const { return cap; }
@@ -148,6 +165,7 @@ class OccupancyWindow
     {
         std::fill(releaseCycles.begin(), releaseCycles.end(), 0);
         head = 0;
+        headIdx = 0;
     }
 
     /** @{ @name Snapshot serialization (chex-snapshot-v1) */
@@ -173,6 +191,9 @@ class OccupancyWindow
         for (size_t i = 0; i < releaseCycles.size(); ++i)
             releaseCycles[i] = jr->at(i).asUint64();
         head = json::getUint(v, "head", 0);
+        // Snapshots store the monotone allocation count; rebuild the
+        // wrapped index so old snapshots restore correctly.
+        headIdx = static_cast<unsigned>(head % cap);
         return true;
     }
     /** @} */
@@ -180,7 +201,8 @@ class OccupancyWindow
   private:
     unsigned cap;
     std::vector<uint64_t> releaseCycles;
-    uint64_t head = 0;
+    uint64_t head = 0;    // monotone allocation count (serialized)
+    unsigned headIdx = 0; // head % cap, maintained incrementally
 };
 
 } // namespace chex

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Flat open-addressed store-to-load forwarding table. The timing
+ * core consults it on every load and updates it on every store, so
+ * it sits directly on the fetch->retire hot path; the previous
+ * std::unordered_map spent the bulk of Core::addUop in hashing and
+ * node chasing.
+ *
+ * Semantics are exactly those of the map it replaces:
+ *  - insert() overwrites the ready cycle for an existing word and
+ *    counts distinct words otherwise,
+ *  - clear() drops everything (the core clears when size() exceeds
+ *    its threshold, bounding the modelled store-queue history),
+ * so simulated cycle assignments are bit-identical.
+ *
+ * Linear probing over a power-of-two slot array sized so the load
+ * factor stays at or below ~0.5 before the core's clear threshold
+ * fires. clear() is O(1): slots carry an epoch stamp and a slot is
+ * live only when its stamp matches the current epoch.
+ */
+
+#ifndef CHEX_CPU_STORE_FORWARD_HH
+#define CHEX_CPU_STORE_FORWARD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace chex
+{
+
+/** Word-address -> data-ready-cycle forwarding table. */
+class StoreForwardTable
+{
+  public:
+    /** Slot count; must exceed 2x the core's clear threshold. */
+    static constexpr size_t Capacity = 16384;
+
+    StoreForwardTable() : slots(Capacity) {}
+
+    /** Ready cycle for @p word, or nullptr when not present. */
+    const uint64_t *
+    lookup(uint64_t word) const
+    {
+        size_t idx = home(word);
+        while (slots[idx].epoch == epoch) {
+            if (slots[idx].word == word)
+                return &slots[idx].ready;
+            idx = (idx + 1) & (Capacity - 1);
+        }
+        return nullptr;
+    }
+
+    /** Insert or overwrite @p word's ready cycle. */
+    void
+    insert(uint64_t word, uint64_t ready)
+    {
+        size_t idx = home(word);
+        while (slots[idx].epoch == epoch) {
+            if (slots[idx].word == word) {
+                slots[idx].ready = ready;
+                return;
+            }
+            idx = (idx + 1) & (Capacity - 1);
+        }
+        slots[idx] = {word, ready, epoch};
+        ++_size;
+    }
+
+    /** Number of distinct words present. */
+    size_t size() const { return _size; }
+
+    /** Drop every entry in O(1) by advancing the epoch. */
+    void
+    clear()
+    {
+        ++epoch;
+        _size = 0;
+    }
+
+    /** Visit every live (word, ready) pair in unspecified order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots)
+            if (s.epoch == epoch)
+                fn(s.word, s.ready);
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t word = 0;
+        uint64_t ready = 0;
+        uint64_t epoch = 0; // live iff == table epoch (which starts at 1)
+    };
+
+    size_t
+    home(uint64_t word) const
+    {
+        return static_cast<size_t>(word * 0x9e3779b97f4a7c15ull >> 32) &
+               (Capacity - 1);
+    }
+
+    std::vector<Slot> slots;
+    uint64_t epoch = 1;
+    size_t _size = 0;
+};
+
+} // namespace chex
+
+#endif // CHEX_CPU_STORE_FORWARD_HH

@@ -382,11 +382,11 @@ HeapAllocator::saveState() const
         .set("maxLiveCount", maxLiveCount)
         .set("liveBytes", liveBytes)
         .set("peakLiveBytes", peakLiveBytes)
-        .set("totalAllocs", statTotalAllocs.value())
-        .set("totalFrees", statTotalFrees.value())
-        .set("failedAllocs", statFailedAllocs.value())
-        .set("binReuse", statBinReuse.value())
-        .set("bumpAllocs", statBumpAllocs.value());
+        .set("totalAllocs", statTotalAllocs.count())
+        .set("totalFrees", statTotalFrees.count())
+        .set("failedAllocs", statFailedAllocs.count())
+        .set("binReuse", statBinReuse.count())
+        .set("bumpAllocs", statBumpAllocs.count());
 }
 
 bool
@@ -424,11 +424,11 @@ HeapAllocator::restoreState(const json::Value &v)
     maxLiveCount = json::getUint(v, "maxLiveCount", 0);
     liveBytes = json::getUint(v, "liveBytes", 0);
     peakLiveBytes = json::getUint(v, "peakLiveBytes", 0);
-    statTotalAllocs = json::getDouble(v, "totalAllocs", 0.0);
-    statTotalFrees = json::getDouble(v, "totalFrees", 0.0);
-    statFailedAllocs = json::getDouble(v, "failedAllocs", 0.0);
-    statBinReuse = json::getDouble(v, "binReuse", 0.0);
-    statBumpAllocs = json::getDouble(v, "bumpAllocs", 0.0);
+    statTotalAllocs = json::getUint(v, "totalAllocs", 0);
+    statTotalFrees = json::getUint(v, "totalFrees", 0);
+    statFailedAllocs = json::getUint(v, "failedAllocs", 0);
+    statBinReuse = json::getUint(v, "binReuse", 0);
+    statBumpAllocs = json::getUint(v, "bumpAllocs", 0);
     return true;
 }
 

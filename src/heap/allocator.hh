@@ -97,7 +97,7 @@ class HeapAllocator
     /** @{ @name Introspection and statistics */
     uint64_t totalAllocations() const
     {
-        return static_cast<uint64_t>(statTotalAllocs.value());
+        return statTotalAllocs.count();
     }
     uint64_t liveAllocations() const { return liveCount; }
     uint64_t maxLiveAllocations() const { return maxLiveCount; }

@@ -49,6 +49,10 @@ void
 AliasTable::set(uint64_t addr, uint32_t pid)
 {
     addr &= ~7ull;
+    // Any mutation can change a memoized walk result — including
+    // interior-node allocation, which deepens walks for *other*
+    // words sharing the path — so drop the memo up front.
+    lastLookupWord = ~0ull;
     Node *node = root;
     for (unsigned level = 0; level + 1 < Levels; ++level) {
         uint64_t &slot = node->slots[levelIndex(addr, level)];
@@ -66,53 +70,55 @@ AliasTable::set(uint64_t addr, uint32_t pid)
         return;
     if (was == 0 && pid != 0) {
         ++_liveEntries;
-        ++aliasPages[page];
+        aliasPages.increment(page);
     } else if (was != 0 && pid == 0) {
         --_liveEntries;
-        auto it = aliasPages.find(page);
-        if (it != aliasPages.end() && --it->second == 0)
-            aliasPages.erase(it);
+        aliasPages.decrement(page);
     }
     leaf = pid;
 }
 
-uint32_t
-AliasTable::get(uint64_t addr) const
-{
-    addr &= ~7ull;
-    const Node *node = root;
-    for (unsigned level = 0; level + 1 < Levels; ++level) {
-        uint64_t slot = node->slots[levelIndex(addr, level)];
-        if (!slot)
-            return 0;
-        node = reinterpret_cast<const Node *>(slot);
-    }
-    return static_cast<uint32_t>(node->slots[levelIndex(addr, Levels - 1)]);
-}
-
 AliasWalkResult
-AliasTable::walk(uint64_t addr) const
+AliasTable::lookup(uint64_t addr) const
 {
-    addr &= ~7ull;
+    if (addr == lastLookupWord)
+        return lastLookup;
     AliasWalkResult result;
     const Node *node = root;
     for (unsigned level = 0; level + 1 < Levels; ++level) {
         ++result.levelsTouched;
         uint64_t slot = node->slots[levelIndex(addr, level)];
-        if (!slot)
+        if (!slot) {
+            lastLookupWord = addr;
+            lastLookup = result;
             return result;
+        }
         node = reinterpret_cast<const Node *>(slot);
     }
     ++result.levelsTouched;
     result.pid = static_cast<uint32_t>(
         node->slots[levelIndex(addr, Levels - 1)]);
+    lastLookupWord = addr;
+    lastLookup = result;
     return result;
+}
+
+uint32_t
+AliasTable::get(uint64_t addr) const
+{
+    return lookup(addr & ~7ull).pid;
+}
+
+AliasWalkResult
+AliasTable::walk(uint64_t addr) const
+{
+    return lookup(addr & ~7ull);
 }
 
 bool
 AliasTable::pageHostsAliases(uint64_t addr) const
 {
-    return aliasPages.count(addr / 4096) != 0;
+    return aliasPages.hosts(addr / 4096);
 }
 
 void
@@ -123,6 +129,7 @@ AliasTable::clear()
     root = allocNode();
     _liveEntries = 0;
     aliasPages.clear();
+    lastLookupWord = ~0ull;
 }
 
 namespace
@@ -160,8 +167,10 @@ saveNode(const std::array<uint64_t, 512> &slots, unsigned level,
 json::Value
 AliasTable::saveState() const
 {
-    std::vector<std::pair<uint64_t, uint32_t>> pages(aliasPages.begin(),
-                                                     aliasPages.end());
+    std::vector<std::pair<uint64_t, uint32_t>> pages;
+    aliasPages.forEachNonzero([&](uint64_t page, uint32_t count) {
+        pages.emplace_back(page, count);
+    });
     std::sort(pages.begin(), pages.end());
     json::Value jpages = json::Value::array();
     for (const auto &[page, count] : pages) {
@@ -218,10 +227,12 @@ AliasTable::restoreState(const json::Value &v)
     for (const json::Value &pair : pages->items()) {
         if (!pair.isArray() || pair.size() != 2)
             return false;
-        aliasPages[pair.at(size_t(0)).asUint64()] =
-            static_cast<uint32_t>(pair.at(size_t(1)).asUint64());
+        aliasPages.setCount(
+            pair.at(size_t(0)).asUint64(),
+            static_cast<uint32_t>(pair.at(size_t(1)).asUint64()));
     }
     _liveEntries = json::getUint(v, "liveEntries", 0);
+    lastLookupWord = ~0ull;
     return true;
 }
 

@@ -16,7 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "base/json.hh"
 
@@ -28,6 +28,146 @@ struct AliasWalkResult
 {
     uint32_t pid = 0;        // 0 = no alias at that word
     unsigned levelsTouched = 0; // memory accesses performed
+};
+
+/**
+ * Flat open-addressed page -> alias-count table backing the TLB
+ * alias-hosting bit. pageHostsAliases() runs once per load (and once
+ * per overwrite check on stores), so the lookup must be a handful of
+ * cache-friendly probes rather than an unordered_map find.
+ *
+ * Linear probing over a power-of-two slot array. Decrementing a
+ * count to zero leaves the slot in place as a tombstone (so probe
+ * chains stay intact); tombstones are dropped when the table grows.
+ */
+class AliasPageCounts
+{
+  public:
+    AliasPageCounts() : slots(InitialCap) {}
+
+    /** True if @p page currently hosts at least one alias. */
+    bool
+    hosts(uint64_t page) const
+    {
+        const Slot &s = slots[findIndex(page)];
+        return s.used && s.count != 0;
+    }
+
+    void
+    increment(uint64_t page)
+    {
+        size_t idx = findIndex(page);
+        if (!slots[idx].used) {
+            if ((usedSlots + 1) * 2 > slots.size()) {
+                grow();
+                idx = findIndex(page);
+                if (slots[idx].used) { // page survived the rehash
+                    ++slots[idx].count;
+                    return;
+                }
+            }
+            slots[idx].used = true;
+            slots[idx].page = page;
+            slots[idx].count = 0;
+            ++usedSlots;
+        }
+        ++slots[idx].count;
+    }
+
+    void
+    decrement(uint64_t page)
+    {
+        Slot &s = slots[findIndex(page)];
+        if (s.used && s.count != 0)
+            --s.count;
+    }
+
+    void
+    clear()
+    {
+        slots.assign(InitialCap, Slot{});
+        usedSlots = 0;
+    }
+
+    /** Set an exact count (snapshot restore). */
+    void
+    setCount(uint64_t page, uint32_t count)
+    {
+        size_t idx = findIndex(page);
+        if (!slots[idx].used) {
+            if ((usedSlots + 1) * 2 > slots.size()) {
+                grow();
+                idx = findIndex(page);
+            }
+            if (!slots[idx].used) {
+                slots[idx].used = true;
+                slots[idx].page = page;
+                ++usedSlots;
+            }
+        }
+        slots[idx].count = count;
+    }
+
+    /** Number of pages with a nonzero count. */
+    uint64_t
+    livePages() const
+    {
+        uint64_t n = 0;
+        for (const Slot &s : slots)
+            if (s.used && s.count != 0)
+                ++n;
+        return n;
+    }
+
+    /** Visit every (page, count) pair with count != 0 (any order). */
+    template <typename Fn>
+    void
+    forEachNonzero(Fn &&fn) const
+    {
+        for (const Slot &s : slots)
+            if (s.used && s.count != 0)
+                fn(s.page, s.count);
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t page = 0;
+        uint32_t count = 0;
+        bool used = false;
+    };
+
+    static constexpr size_t InitialCap = 64; // power of two
+
+    size_t
+    findIndex(uint64_t page) const
+    {
+        size_t mask = slots.size() - 1;
+        size_t idx =
+            static_cast<size_t>(page * 0x9e3779b97f4a7c15ull >> 32) &
+            mask;
+        while (slots[idx].used && slots[idx].page != page)
+            idx = (idx + 1) & mask;
+        return idx;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.assign(old.size() * 2, Slot{});
+        usedSlots = 0;
+        for (const Slot &s : old) {
+            if (!s.used || s.count == 0)
+                continue; // tombstones die here
+            size_t idx = findIndex(s.page);
+            slots[idx] = s;
+            ++usedSlots;
+        }
+    }
+
+    std::vector<Slot> slots;
+    size_t usedSlots = 0; // occupied slots, including tombstones
 };
 
 /** 5-level radix shadow table: VA[47:3] -> PID. */
@@ -51,7 +191,12 @@ class AliasTable
 
     /**
      * The TLB alias-hosting bit: true if the 4 KiB page containing
-     * @p addr has ever hosted a spilled-pointer alias.
+     * @p addr *currently* hosts at least one spilled-pointer alias.
+     * The bit is precise, not sticky: erasing the last alias on a
+     * page (set(addr, 0)) clears it, so later lookups on that page
+     * are filtered again — matching Section V-C, where the
+     * page-table metadata bit reflects whether the page "hosts
+     * aliases" and is maintained alongside the shadow table.
      */
     bool pageHostsAliases(uint64_t addr) const;
 
@@ -90,10 +235,20 @@ class AliasTable
 
     static unsigned levelIndex(uint64_t addr, unsigned level);
 
+    /** Shared radix traversal behind get()/walk(), memoized. */
+    AliasWalkResult lookup(uint64_t word_addr) const;
+
     Node *root;
     uint64_t _nodeCount = 0;
     uint64_t _liveEntries = 0;
-    std::unordered_map<uint64_t, uint32_t> aliasPages; // page -> count
+    AliasPageCounts aliasPages; // page -> live alias count
+
+    // One-entry memo over lookup(): alias-cache misses walk the same
+    // word the subsequent get()/re-walk touches, and loads frequently
+    // revisit the last spilled slot. Invalidated by any set() —
+    // conservative but cheap. ~0 is never a word-aligned address.
+    mutable uint64_t lastLookupWord = ~0ull;
+    mutable AliasWalkResult lastLookup;
 
     Node *allocNode();
     void freeSubtree(Node *node, unsigned level);

@@ -19,6 +19,8 @@ SetAssocCache::SetAssocCache(const std::string &name, unsigned num_sets,
           _stats.addScalar("invalidations", "explicit invalidations"))
 {
     chex_assert(num_sets > 0 && ways > 0, "bad cache geometry");
+    if ((num_sets & (num_sets - 1)) == 0)
+        _setMask = num_sets - 1;
     _stats.addFormula("missRate", "miss fraction", [this]() {
         return missRate();
     });
@@ -32,7 +34,12 @@ SetAssocCache::setIndex(uint64_t key) const
     // Mix the key so structured keys (sequential PIDs, stack
     // addresses) spread across sets.
     uint64_t h = key * 0x9e3779b97f4a7c15ull;
-    return static_cast<unsigned>(h >> 32) % _numSets;
+    unsigned mixed = static_cast<unsigned>(h >> 32);
+    // x % n == x & (n-1) for power-of-two n: the mask path avoids an
+    // integer divide on every lookup without changing the mapping.
+    if (_setMask)
+        return mixed & _setMask;
+    return mixed % _numSets;
 }
 
 bool
@@ -142,10 +149,10 @@ SetAssocCache::saveState() const
         .set("ways", _ways)
         .set("useCounter", useCounter)
         .set("entries", std::move(valid))
-        .set("hits", _hits.value())
-        .set("misses", _misses.value())
-        .set("evictions", _evictions.value())
-        .set("invalidations", _invalidations.value());
+        .set("hits", _hits.count())
+        .set("misses", _misses.count())
+        .set("evictions", _evictions.count())
+        .set("invalidations", _invalidations.count());
 }
 
 bool
@@ -172,10 +179,10 @@ SetAssocCache::restoreState(const json::Value &v)
         e.valid = true;
     }
     useCounter = json::getUint(v, "useCounter", 0);
-    _hits = json::getDouble(v, "hits", 0.0);
-    _misses = json::getDouble(v, "misses", 0.0);
-    _evictions = json::getDouble(v, "evictions", 0.0);
-    _invalidations = json::getDouble(v, "invalidations", 0.0);
+    _hits = json::getUint(v, "hits", 0);
+    _misses = json::getUint(v, "misses", 0);
+    _evictions = json::getUint(v, "evictions", 0);
+    _invalidations = json::getUint(v, "invalidations", 0);
     return true;
 }
 

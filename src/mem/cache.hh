@@ -65,11 +65,8 @@ class SetAssocCache
     unsigned ways() const { return _ways; }
     unsigned capacity() const { return _numSets * _ways; }
 
-    uint64_t hits() const { return static_cast<uint64_t>(_hits.value()); }
-    uint64_t misses() const
-    {
-        return static_cast<uint64_t>(_misses.value());
-    }
+    uint64_t hits() const { return _hits.count(); }
+    uint64_t misses() const { return _misses.count(); }
     uint64_t accesses() const { return hits() + misses(); }
     double
     missRate() const
@@ -101,6 +98,10 @@ class SetAssocCache
 
     unsigned _numSets;
     unsigned _ways;
+    // Fast set-index path: when numSets is a power of two the modulo
+    // in setIndex() reduces to this mask (bit-identical mapping);
+    // zero means "not a power of two, use the divide".
+    unsigned _setMask = 0;
     std::vector<Entry> entries; // numSets * ways
     uint64_t useCounter = 0;
 

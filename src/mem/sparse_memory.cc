@@ -12,18 +12,30 @@ namespace chex
 SparseMemory::Page *
 SparseMemory::findPage(uint64_t addr) const
 {
-    auto it = pages.find(addr / PageBytes);
-    return it == pages.end() ? nullptr : it->second.get();
+    uint64_t num = addr / PageBytes;
+    if (num == lastPageNum)
+        return lastPage;
+    auto it = pages.find(num);
+    if (it == pages.end())
+        return nullptr;
+    lastPageNum = num;
+    lastPage = it->second.get();
+    return lastPage;
 }
 
 SparseMemory::Page &
 SparseMemory::touchPage(uint64_t addr)
 {
-    auto &slot = pages[addr / PageBytes];
+    uint64_t num = addr / PageBytes;
+    if (num == lastPageNum)
+        return *lastPage;
+    auto &slot = pages[num];
     if (!slot) {
         slot = std::make_unique<Page>();
         slot->fill(0);
     }
+    lastPageNum = num;
+    lastPage = slot.get();
     return *slot;
 }
 
@@ -49,8 +61,18 @@ void
 SparseMemory::readBlock(uint64_t addr, void *buf, uint64_t len) const
 {
     auto *out = static_cast<uint8_t *>(buf);
+    // Fast path: nearly every access is a 1-8 byte read that stays
+    // within one page.
+    uint64_t off = addr % PageBytes;
+    if (off + len <= PageBytes) {
+        if (const Page *page = findPage(addr))
+            std::memcpy(out, page->data() + off, len);
+        else
+            std::memset(out, 0, len);
+        return;
+    }
     while (len > 0) {
-        uint64_t off = addr % PageBytes;
+        off = addr % PageBytes;
         uint64_t chunk = std::min(len, PageBytes - off);
         if (const Page *page = findPage(addr))
             std::memcpy(out, page->data() + off, chunk);
@@ -66,8 +88,13 @@ void
 SparseMemory::writeBlock(uint64_t addr, const void *buf, uint64_t len)
 {
     auto *in = static_cast<const uint8_t *>(buf);
+    uint64_t off = addr % PageBytes;
+    if (off + len <= PageBytes) {
+        std::memcpy(touchPage(addr).data() + off, in, len);
+        return;
+    }
     while (len > 0) {
-        uint64_t off = addr % PageBytes;
+        off = addr % PageBytes;
         uint64_t chunk = std::min(len, PageBytes - off);
         Page &page = touchPage(addr);
         std::memcpy(page.data() + off, in, chunk);
@@ -102,6 +129,8 @@ SparseMemory::restoreState(const json::Value &v)
     if (!v.isArray())
         return false;
     pages.clear();
+    lastPageNum = NoPage;
+    lastPage = nullptr;
     std::vector<uint8_t> bytes;
     for (const json::Value &e : v.items()) {
         if (!e.isObject())

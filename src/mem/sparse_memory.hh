@@ -39,14 +39,24 @@ class SparseMemory
     /** Fill [addr, addr+len) with @p byte. */
     void fill(uint64_t addr, uint8_t byte, uint64_t len);
 
-    /** Number of distinct pages touched by writes (or reads). */
+    /**
+     * Number of distinct pages allocated by writes/fills. Reads of
+     * unmapped addresses return zero without allocating, so reads
+     * never grow the resident set.
+     */
     uint64_t residentPages() const { return pages.size(); }
 
     /** Resident bytes (pages * 4 KiB). */
     uint64_t residentBytes() const { return pages.size() * PageBytes; }
 
     /** Drop all contents. */
-    void clear() { pages.clear(); }
+    void
+    clear()
+    {
+        pages.clear();
+        lastPageNum = NoPage;
+        lastPage = nullptr;
+    }
 
     /** @{ @name Snapshot serialization (chex-snapshot-v1)
      * Every resident page, sorted by page number for deterministic
@@ -62,6 +72,17 @@ class SparseMemory
     Page &touchPage(uint64_t addr);
 
     std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
+
+    // One-entry translation cache over the page map. Nearly every
+    // access in the fetch->retire loop lands on the same page as its
+    // predecessor (sequential code, stack traffic), so this memo
+    // turns the common-case hash lookup into a compare. Positive
+    // entries only — Page objects are heap-allocated, so the pointer
+    // stays valid across map rehashes; entries are only dropped by
+    // clear()/restoreState(), which reset the memo.
+    static constexpr uint64_t NoPage = ~0ull;
+    mutable uint64_t lastPageNum = NoPage;
+    mutable Page *lastPage = nullptr;
 };
 
 } // namespace chex

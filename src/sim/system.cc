@@ -278,7 +278,8 @@ System::emitSyntheticChecks(const MacroInst &mi, uint64_t pc)
 {
     MacroBranchInfo no_branch;
     if (cfg.variant.kind == VariantKind::BinaryTranslation) {
-        SyntheticMacro m = btCheckSequence(mi.mem);
+        btCheckSequenceInto(btSeqBuf, mi.mem);
+        const SyntheticMacro &m = btSeqBuf;
         corePtr->beginMacro(pc + 1, DecodePath::Complex, no_branch);
         uint64_t ea = ms.effectiveAddr(mi.mem);
         Pid pid = NoPid;
@@ -302,7 +303,9 @@ System::emitSyntheticChecks(const MacroInst &mi, uint64_t pc)
     }
 
     // ASan: three synthetic check macros per memory operand.
-    auto macros = asanCheckSequence(mi.mem, cfg.variant.asanShadowBase);
+    asanCheckSequenceInto(asanSeqBuf, mi.mem,
+                          cfg.variant.asanShadowBase);
+    const auto &macros = asanSeqBuf;
     for (size_t i = 0; i < macros.size(); ++i) {
         corePtr->beginMacro(pc + 1 + i, DecodePath::Simple, no_branch);
         for (const auto &u : macros[i].uops) {

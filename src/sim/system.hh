@@ -279,6 +279,13 @@ class System
     std::vector<CrackedInst> crackCache;
     std::vector<bool> btTranslated;
 
+    // Reusable synthetic-instrumentation buffers: the check
+    // sequences have fixed shape, so emitSyntheticChecks() patches
+    // the per-call fields in place instead of rebuilding the
+    // micro-op vectors for every instrumented macro-op.
+    std::vector<SyntheticMacro> asanSeqBuf;
+    SyntheticMacro btSeqBuf;
+
     // Run state
     bool running = false;
     bool pausedFlag = false;  // mid-run, resumable (snapshot point)

@@ -185,14 +185,14 @@ SpeculativePointerTracker::saveState() const
         .set("tags", tags.saveState())
         .set("predictor", pred.saveState())
         .set("aliasCache", cache.saveState())
-        .set("loads", statLoads.value())
-        .set("stores", statStores.value())
-        .set("taggedDerefs", statTaggedDerefs.value())
-        .set("spills", statSpills.value())
-        .set("reloads", statReloads.value())
-        .set("aliasKills", statAliasKills.value())
-        .set("pageFilterSkips", statPageFilterSkips.value())
-        .set("remoteInvalidations", statRemoteInvalidations.value());
+        .set("loads", statLoads.count())
+        .set("stores", statStores.count())
+        .set("taggedDerefs", statTaggedDerefs.count())
+        .set("spills", statSpills.count())
+        .set("reloads", statReloads.count())
+        .set("aliasKills", statAliasKills.count())
+        .set("pageFilterSkips", statPageFilterSkips.count())
+        .set("remoteInvalidations", statRemoteInvalidations.count());
 }
 
 bool
@@ -207,15 +207,15 @@ SpeculativePointerTracker::restoreState(const json::Value &v)
         !pred.restoreState(*jp) || !cache.restoreState(*jc)) {
         return false;
     }
-    statLoads = json::getDouble(v, "loads", 0.0);
-    statStores = json::getDouble(v, "stores", 0.0);
-    statTaggedDerefs = json::getDouble(v, "taggedDerefs", 0.0);
-    statSpills = json::getDouble(v, "spills", 0.0);
-    statReloads = json::getDouble(v, "reloads", 0.0);
-    statAliasKills = json::getDouble(v, "aliasKills", 0.0);
-    statPageFilterSkips = json::getDouble(v, "pageFilterSkips", 0.0);
+    statLoads = json::getUint(v, "loads", 0);
+    statStores = json::getUint(v, "stores", 0);
+    statTaggedDerefs = json::getUint(v, "taggedDerefs", 0);
+    statSpills = json::getUint(v, "spills", 0);
+    statReloads = json::getUint(v, "reloads", 0);
+    statAliasKills = json::getUint(v, "aliasKills", 0);
+    statPageFilterSkips = json::getUint(v, "pageFilterSkips", 0);
     statRemoteInvalidations =
-        json::getDouble(v, "remoteInvalidations", 0.0);
+        json::getUint(v, "remoteInvalidations", 0);
     return true;
 }
 

@@ -114,22 +114,10 @@ class SpeculativePointerTracker
     stats::StatGroup &statGroup() { return statsGroup; }
 
     /** @{ @name Counters the harness reads directly */
-    uint64_t taggedDerefs() const
-    {
-        return static_cast<uint64_t>(statTaggedDerefs.value());
-    }
-    uint64_t pointerSpills() const
-    {
-        return static_cast<uint64_t>(statSpills.value());
-    }
-    uint64_t pointerReloads() const
-    {
-        return static_cast<uint64_t>(statReloads.value());
-    }
-    uint64_t loadsSeen() const
-    {
-        return static_cast<uint64_t>(statLoads.value());
-    }
+    uint64_t taggedDerefs() const { return statTaggedDerefs.count(); }
+    uint64_t pointerSpills() const { return statSpills.count(); }
+    uint64_t pointerReloads() const { return statReloads.count(); }
+    uint64_t loadsSeen() const { return statLoads.count(); }
     /** @} */
 
     /** @{ @name Snapshot serialization (chex-snapshot-v1)

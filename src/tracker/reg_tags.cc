@@ -1,5 +1,7 @@
 #include "reg_tags.hh"
 
+#include <bit>
+
 #include "base/logging.hh"
 
 namespace chex
@@ -32,12 +34,14 @@ RegTagFile::write(RegId reg, Pid pid, uint64_t seq)
     chex_assert(t.transients.empty() || t.transients.back().seq < seq,
                 "out-of-order transient write");
     t.transients.push_back({seq, pid});
+    nonEmpty |= 1ull << reg;
 }
 
 void
 RegTagFile::commitUpTo(uint64_t seq)
 {
-    for (auto &t : tags) {
+    for (uint64_t m = nonEmpty; m; m &= m - 1) {
+        RegTag &t = tags[std::countr_zero(m)];
         size_t n = 0;
         while (n < t.transients.size() && t.transients[n].seq <= seq)
             ++n;
@@ -45,6 +49,8 @@ RegTagFile::commitUpTo(uint64_t seq)
             t.finalized = t.transients[n - 1].pid;
             t.transients.erase(t.transients.begin(),
                                t.transients.begin() + n);
+            if (t.transients.empty())
+                nonEmpty &= ~(1ull << std::countr_zero(m));
         }
     }
 }
@@ -52,9 +58,12 @@ RegTagFile::commitUpTo(uint64_t seq)
 void
 RegTagFile::squashAfter(uint64_t seq)
 {
-    for (auto &t : tags) {
+    for (uint64_t m = nonEmpty; m; m &= m - 1) {
+        RegTag &t = tags[std::countr_zero(m)];
         while (!t.transients.empty() && t.transients.back().seq > seq)
             t.transients.pop_back();
+        if (t.transients.empty())
+            nonEmpty &= ~(1ull << std::countr_zero(m));
     }
 }
 
@@ -62,8 +71,8 @@ size_t
 RegTagFile::transientCount() const
 {
     size_t n = 0;
-    for (const auto &t : tags)
-        n += t.transients.size();
+    for (uint64_t m = nonEmpty; m; m &= m - 1)
+        n += tags[std::countr_zero(m)].transients.size();
     return n;
 }
 
@@ -74,6 +83,7 @@ RegTagFile::clear()
         t.finalized = NoPid;
         t.transients.clear();
     }
+    nonEmpty = 0;
 }
 
 json::Value
@@ -101,6 +111,7 @@ RegTagFile::restoreState(const json::Value &v)
 {
     if (!v.isArray() || v.size() != NumArchRegs)
         return false;
+    nonEmpty = 0;
     for (size_t r = 0; r < NumArchRegs; ++r) {
         const json::Value &jt = v.at(r);
         if (!jt.isObject())
@@ -119,6 +130,8 @@ RegTagFile::restoreState(const json::Value &v)
                 {pair.at(size_t(0)).asUint64(),
                  static_cast<Pid>(pair.at(size_t(1)).asUint64())});
         }
+        if (!t.transients.empty())
+            nonEmpty |= 1ull << r;
     }
     return true;
 }

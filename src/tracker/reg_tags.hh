@@ -69,6 +69,15 @@ class RegTagFile
     };
 
     RegTag tags[NumArchRegs];
+
+    // Bit r set iff tags[r].transients is nonempty. commitUpTo()
+    // runs once per micro-op and almost every register has no
+    // in-flight writes, so the walk visits only set bits instead of
+    // scanning all NumArchRegs vectors (NumArchRegs <= 64 by the
+    // static_assert in regs.hh usage here).
+    uint64_t nonEmpty = 0;
+
+    static_assert(NumArchRegs <= 64, "nonEmpty bitmask too narrow");
 };
 
 } // namespace chex

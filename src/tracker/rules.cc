@@ -39,13 +39,13 @@ void
 RuleDatabase::install(const TrackRule &rule)
 {
     byKey[rule.key] = rule;
+    actions[flatIndex(rule.key)] = rule.action;
 }
 
 RuleAction
 RuleDatabase::lookup(const StaticUop &uop) const
 {
-    auto it = byKey.find(ruleKeyFor(uop));
-    return it == byKey.end() ? RuleAction::Clear : it->second.action;
+    return actions[flatIndex(ruleKeyFor(uop))];
 }
 
 bool

@@ -11,6 +11,7 @@
 #ifndef CHEX_TRACKER_RULES_HH
 #define CHEX_TRACKER_RULES_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -102,7 +103,29 @@ class RuleDatabase
     size_t size() const { return byKey.size(); }
 
   private:
+    // Key-space extents for the dense action table. The tracker
+    // calls lookup() on every ALU/LEA micro-op, so the hot path
+    // indexes a flat array instead of walking the rule map; byKey
+    // remains the source of truth for documentation fields and
+    // deterministic enumeration.
+    static constexpr size_t NumUopTypes =
+        static_cast<size_t>(UopType::NUM_TYPES);
+    static constexpr size_t NumAluOps =
+        static_cast<size_t>(AluOp::FCvt) + 1;
+    static constexpr size_t NumForms = 3; // OperandForm values
+
+    static size_t
+    flatIndex(const RuleKey &key)
+    {
+        return (static_cast<size_t>(key.type) * NumAluOps +
+                static_cast<size_t>(key.op)) *
+                   NumForms +
+               static_cast<size_t>(key.form);
+    }
+
     std::map<RuleKey, TrackRule> byKey;
+    std::array<RuleAction, NumUopTypes * NumAluOps * NumForms>
+        actions{}; // zero-init == RuleAction::Clear
 };
 
 } // namespace chex

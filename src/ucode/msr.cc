@@ -3,33 +3,40 @@
 namespace chex
 {
 
+void
+MsrFile::upsert(std::vector<Registration> &regs, uint64_t addr,
+                IntrinsicKind kind)
+{
+    for (Registration &r : regs) {
+        if (r.addr == addr) {
+            r.kind = kind;
+            return;
+        }
+    }
+    regs.push_back({addr, kind});
+}
+
 bool
 MsrFile::registerFunction(IntrinsicKind kind, uint64_t entry_addr,
                           uint64_t exit_addr)
 {
     if (entries.size() >= MaxRegistered)
         return false;
-    entries[entry_addr] = kind;
-    exits[exit_addr] = kind;
+    upsert(entries, entry_addr, kind);
+    upsert(exits, exit_addr, kind);
     return true;
 }
 
 std::optional<IntrinsicKind>
 MsrFile::entryAt(uint64_t addr) const
 {
-    auto it = entries.find(addr);
-    if (it == entries.end())
-        return std::nullopt;
-    return it->second;
+    return findIn(entries, addr);
 }
 
 std::optional<IntrinsicKind>
 MsrFile::exitAt(uint64_t addr) const
 {
-    auto it = exits.find(addr);
-    if (it == exits.end())
-        return std::nullopt;
-    return it->second;
+    return findIn(exits, addr);
 }
 
 void

@@ -15,7 +15,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "isa/insts.hh"
 
@@ -51,8 +51,29 @@ class MsrFile
     void clear();
 
   private:
-    std::unordered_map<uint64_t, IntrinsicKind> entries;
-    std::unordered_map<uint64_t, IntrinsicKind> exits;
+    // entryAt()/exitAt() run twice per macro-instruction; with at
+    // most MaxRegistered (16) registrations, a linear scan over a
+    // contiguous vector beats hashing into an unordered_map.
+    struct Registration
+    {
+        uint64_t addr;
+        IntrinsicKind kind;
+    };
+
+    static std::optional<IntrinsicKind>
+    findIn(const std::vector<Registration> &regs, uint64_t addr)
+    {
+        for (const Registration &r : regs)
+            if (r.addr == addr)
+                return r.kind;
+        return std::nullopt;
+    }
+
+    static void upsert(std::vector<Registration> &regs, uint64_t addr,
+                       IntrinsicKind kind);
+
+    std::vector<Registration> entries;
+    std::vector<Registration> exits;
 };
 
 } // namespace chex

@@ -40,7 +40,23 @@ variantFromName(const std::string &name, VariantKind *out)
 std::vector<SyntheticMacro>
 asanCheckSequence(const MemOperand &mem, uint64_t shadow_base)
 {
-    std::vector<SyntheticMacro> macros(4);
+    std::vector<SyntheticMacro> macros;
+    asanCheckSequenceInto(macros, mem, shadow_base);
+    return macros;
+}
+
+void
+asanCheckSequenceInto(std::vector<SyntheticMacro> &macros,
+                      const MemOperand &mem, uint64_t shadow_base)
+{
+    if (!macros.empty()) {
+        // Structure already built: only the memory operand and the
+        // shadow displacement vary between calls.
+        macros[0].uops[0].mem = mem;
+        macros[2].uops[0].mem.disp = static_cast<int64_t>(shadow_base);
+        return;
+    }
+    macros.resize(4);
 
     // lea t1, [mem]
     StaticUop lea;
@@ -92,14 +108,23 @@ asanCheckSequence(const MemOperand &mem, uint64_t shadow_base)
     jne.src1 = T2;
     jne.synthetic = true;
     macros[3].uops.push_back(jne);
-
-    return macros;
 }
 
 SyntheticMacro
 btCheckSequence(const MemOperand &mem)
 {
     SyntheticMacro macro;
+    btCheckSequenceInto(macro, mem);
+    return macro;
+}
+
+void
+btCheckSequenceInto(SyntheticMacro &macro, const MemOperand &mem)
+{
+    if (!macro.uops.empty()) {
+        macro.uops[0].mem = mem;
+        return;
+    }
 
     StaticUop lea;
     lea.type = UopType::Lea;
@@ -114,8 +139,6 @@ btCheckSequence(const MemOperand &mem)
     check.src1 = T1;
     check.synthetic = true;
     macro.uops.push_back(check);
-
-    return macro;
 }
 
 } // namespace chex

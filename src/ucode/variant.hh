@@ -119,12 +119,25 @@ std::vector<SyntheticMacro> asanCheckSequence(const MemOperand &mem,
                                               uint64_t shadow_base);
 
 /**
+ * In-place asanCheckSequence: fills @p macros on first use and
+ * afterwards only re-patches the fields that vary per call (the
+ * memory operand and shadow base). The instrumentation loop runs
+ * once per protected memory macro-op, and rebuilding the vectors
+ * from scratch dominated its cost.
+ */
+void asanCheckSequenceInto(std::vector<SyntheticMacro> &macros,
+                           const MemOperand &mem, uint64_t shadow_base);
+
+/**
  * The binary-translation check: one extra macro-instruction using a
  * secure ISA extension —
  *   lea      t1, [mem]
  *   capcheck t1
  */
 SyntheticMacro btCheckSequence(const MemOperand &mem);
+
+/** In-place btCheckSequence (see asanCheckSequenceInto). */
+void btCheckSequenceInto(SyntheticMacro &macro, const MemOperand &mem);
 
 } // namespace chex
 

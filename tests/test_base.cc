@@ -103,10 +103,37 @@ TEST(Stats, ScalarArithmetic)
 {
     stats::StatGroup g("g");
     auto &s = g.addScalar("s", "test");
-    s += 2.5;
+    s += 2;
     ++s;
-    EXPECT_DOUBLE_EQ(s.value(), 3.5);
-    EXPECT_DOUBLE_EQ(g.get("s"), 3.5);
+    s++;
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    EXPECT_DOUBLE_EQ(g.get("s"), 4.0);
+    s = 7;
+    EXPECT_EQ(s.count(), 7u);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, ScalarCountsPastDoublePrecisionCliff)
+{
+    // 2^53 is the first integer a double cannot distinguish from its
+    // successor: 9007199254740992.0 + 1.0 == 9007199254740992.0, so
+    // a double-backed counter silently stops counting there. The
+    // integer Scalar must keep exact counts across the cliff.
+    constexpr uint64_t cliff = 1ull << 53;
+    stats::StatGroup g("g");
+    auto &s = g.addScalar("s", "test");
+    s = cliff;
+    ++s;
+    EXPECT_EQ(s.count(), cliff + 1);
+    s += 1;
+    EXPECT_EQ(s.count(), cliff + 2);
+
+    // The same arithmetic through doubles is a silent no-op — the
+    // failure mode this test pins down.
+    double d = static_cast<double>(cliff);
+    EXPECT_EQ(d + 1.0, d);
 }
 
 TEST(Stats, FormulaEvaluatesLazily)

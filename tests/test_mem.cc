@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "mem/alias_table.hh"
 #include "mem/cache.hh"
 #include "mem/hierarchy.hh"
@@ -64,6 +66,87 @@ TEST(SparseMemory, ResidentBytesTrackTouchedPages)
     m.write(0, 1, 1);
     m.write(4096 * 10, 1, 1);
     EXPECT_EQ(m.residentBytes(), 2u * 4096);
+}
+
+TEST(SparseMemory, ReadsNeverAllocatePages)
+{
+    // residentPages() counts pages allocated by writes/fills only:
+    // reads of unmapped memory return zero without allocating, so a
+    // read-heavy program cannot inflate the reported resident set
+    // (Figure 9 depends on this).
+    SparseMemory m;
+    m.write(0x1000, 0xff, 1);
+    ASSERT_EQ(m.residentPages(), 1u);
+
+    EXPECT_EQ(m.read(0x200000, 8), 0u);
+    uint8_t buf[64] = {};
+    m.readBlock(0x300ff0, buf, sizeof(buf)); // crosses a page boundary
+    EXPECT_EQ(m.residentPages(), 1u);
+
+    // Repeated reads of the page that IS resident don't add pages
+    // either (guards the last-page translation cache).
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(m.read(0x1000, 1), 0xffu);
+    EXPECT_EQ(m.residentPages(), 1u);
+
+    m.fill(0x400000, 0, 1);
+    EXPECT_EQ(m.residentPages(), 2u);
+}
+
+TEST(SparseMemory, PageBoundaryBlockOps)
+{
+    SparseMemory m;
+    constexpr uint64_t PageBytes = SparseMemory::PageBytes;
+
+    // writeBlock spanning four pages: the tail of page 0, all of
+    // pages 1 and 2, and the head of page 3.
+    std::vector<uint8_t> data(PageBytes * 2 + 128);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<uint8_t>(i * 7 + 1);
+    uint64_t start = PageBytes - 64;
+    m.writeBlock(start, data.data(), data.size());
+    EXPECT_EQ(m.residentPages(), 4u);
+
+    std::vector<uint8_t> back(data.size());
+    m.readBlock(start, back.data(), back.size());
+    EXPECT_EQ(back, data);
+
+    // fill spanning a boundary, then read straddling it.
+    m.fill(2 * PageBytes - 8, 0x5A, 16);
+    uint8_t straddle[16];
+    m.readBlock(2 * PageBytes - 8, straddle, sizeof(straddle));
+    for (uint8_t b : straddle)
+        EXPECT_EQ(b, 0x5A);
+
+    // A cross-page read where only the first page is resident
+    // zero-fills the unmapped tail.
+    SparseMemory m2;
+    m2.fill(PageBytes - 4, 0x11, 4); // last 4 bytes of page 0 only
+    uint8_t mix[8];
+    m2.readBlock(PageBytes - 4, mix, sizeof(mix));
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(mix[i], 0x11);
+    for (int i = 4; i < 8; ++i)
+        EXPECT_EQ(mix[i], 0);
+    EXPECT_EQ(m2.residentPages(), 1u);
+}
+
+TEST(SparseMemory, ClearAndRestoreInvalidateTranslationCache)
+{
+    SparseMemory m;
+    m.write(0x5000, 0xabcd, 8);
+    ASSERT_EQ(m.read(0x5000, 8), 0xabcdu); // primes the memo
+
+    m.clear();
+    EXPECT_EQ(m.read(0x5000, 8), 0u);
+    EXPECT_EQ(m.residentPages(), 0u);
+
+    m.write(0x5000, 0x1111, 8);
+    ASSERT_EQ(m.read(0x5000, 8), 0x1111u); // primes the memo again
+    SparseMemory other;
+    other.write(0x5000, 0x2222, 8);
+    ASSERT_TRUE(m.restoreState(other.saveState()));
+    EXPECT_EQ(m.read(0x5000, 8), 0x2222u);
 }
 
 TEST(Cache, HitAfterInsert)
@@ -166,6 +249,85 @@ TEST(AliasTable, PageHostingFilter)
     EXPECT_FALSE(t.pageHostsAliases(0x6000));
     t.set(0x5010, 0);
     EXPECT_FALSE(t.pageHostsAliases(0x5000));
+}
+
+TEST(AliasTable, PageBitTracksLiveCountPrecisely)
+{
+    // Pins the reconciled Section V-C semantics: the page-granular
+    // alias-hosting bit is *precise*, reflecting whether the page
+    // currently hosts at least one alias — it is NOT sticky across
+    // the erasure of the last alias. A page whose aliases have all
+    // been overwritten filters lookups again, exactly as before the
+    // first spill.
+    AliasTable t;
+    uint64_t page = 0x9000;
+    t.set(page + 0x10, 1);
+    t.set(page + 0x20, 2);
+    t.set(page + 0x30, 3);
+    EXPECT_TRUE(t.pageHostsAliases(page));
+
+    // Erasing some but not all aliases keeps the bit set.
+    t.set(page + 0x10, 0);
+    t.set(page + 0x20, 0);
+    EXPECT_TRUE(t.pageHostsAliases(page));
+
+    // Erasing the last alias clears it.
+    t.set(page + 0x30, 0);
+    EXPECT_FALSE(t.pageHostsAliases(page));
+
+    // And re-spilling sets it again — the count survives the
+    // tombstone left by the erase.
+    t.set(page + 0x40, 9);
+    EXPECT_TRUE(t.pageHostsAliases(page));
+
+    // Overwriting an alias with a different PID is count-neutral.
+    t.set(page + 0x40, 5);
+    EXPECT_TRUE(t.pageHostsAliases(page));
+    t.set(page + 0x40, 0);
+    EXPECT_FALSE(t.pageHostsAliases(page));
+}
+
+TEST(AliasTable, PageBitScalesAcrossManyPages)
+{
+    // Exercises the flat page-count table through growth/rehash:
+    // enough distinct pages to force several table resizes, then
+    // erase half and verify precision is retained for every page.
+    AliasTable t;
+    constexpr uint64_t N = 1000;
+    for (uint64_t i = 0; i < N; ++i)
+        t.set(i * 4096 + 8, static_cast<uint32_t>(i + 1));
+    for (uint64_t i = 0; i < N; ++i)
+        EXPECT_TRUE(t.pageHostsAliases(i * 4096));
+    for (uint64_t i = 0; i < N; i += 2)
+        t.set(i * 4096 + 8, 0);
+    for (uint64_t i = 0; i < N; ++i)
+        EXPECT_EQ(t.pageHostsAliases(i * 4096), i % 2 == 1);
+    EXPECT_EQ(t.liveEntries(), N / 2);
+}
+
+TEST(AliasTable, MemoizedLookupsStayCoherent)
+{
+    // get()/walk() share a one-entry memo; any set() must invalidate
+    // it, including interior-node allocation that deepens walks for
+    // *other* words on a shared path.
+    AliasTable t;
+    t.set(0x7000, 4);
+    EXPECT_EQ(t.get(0x7000), 4u);
+    EXPECT_EQ(t.get(0x7000), 4u); // memo hit
+    t.set(0x7000, 8);
+    EXPECT_EQ(t.get(0x7000), 8u); // must see the update
+    t.set(0x7000, 0);
+    EXPECT_EQ(t.get(0x7000), 0u);
+
+    // A walk that terminates early, then an allocation on the same
+    // subtree path: the re-walk must go deeper.
+    AliasWalkResult before = t.walk(0x8008);
+    EXPECT_EQ(before.pid, 0u);
+    t.set(0x8000, 3); // same leaf node as 0x8008
+    AliasWalkResult after = t.walk(0x8008);
+    EXPECT_EQ(after.pid, 0u);
+    EXPECT_EQ(after.levelsTouched, AliasTable::Levels);
+    EXPECT_GE(after.levelsTouched, before.levelsTouched);
 }
 
 TEST(AliasTable, StorageGrowsWithSpread)

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Equivalence tests for the flat store-to-load forwarding table
+ * against the std::unordered_map it replaced in Core. The timing
+ * model's cycle assignments depend on exact hit/miss/overwrite
+ * behavior, so the flat table must match the map bit-for-bit —
+ * including across the core's size-triggered clear.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/random.hh"
+#include "cpu/store_forward.hh"
+
+namespace chex
+{
+namespace
+{
+
+TEST(StoreForwardTable, BasicInsertLookupOverwrite)
+{
+    StoreForwardTable t;
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.lookup(42), nullptr);
+
+    t.insert(42, 100);
+    ASSERT_NE(t.lookup(42), nullptr);
+    EXPECT_EQ(*t.lookup(42), 100u);
+    EXPECT_EQ(t.size(), 1u);
+
+    // Overwrite does not change the distinct-word count.
+    t.insert(42, 250);
+    EXPECT_EQ(*t.lookup(42), 250u);
+    EXPECT_EQ(t.size(), 1u);
+
+    t.insert(43, 7);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.lookup(44), nullptr);
+}
+
+TEST(StoreForwardTable, ClearDropsEverything)
+{
+    StoreForwardTable t;
+    for (uint64_t w = 0; w < 100; ++w)
+        t.insert(w, w * 3);
+    EXPECT_EQ(t.size(), 100u);
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    for (uint64_t w = 0; w < 100; ++w)
+        EXPECT_EQ(t.lookup(w), nullptr);
+
+    // The table is fully usable after an epoch-based clear, and
+    // repeated clears keep working.
+    t.insert(5, 9);
+    ASSERT_NE(t.lookup(5), nullptr);
+    EXPECT_EQ(*t.lookup(5), 9u);
+    t.clear();
+    EXPECT_EQ(t.lookup(5), nullptr);
+}
+
+TEST(StoreForwardTable, CollidingWordsProbeCorrectly)
+{
+    // Words spaced by Capacity share low index bits under many hash
+    // schemes; regardless of the hash, inserting many keys forces
+    // probe chains. Every key must remain individually addressable.
+    StoreForwardTable t;
+    constexpr uint64_t stride = StoreForwardTable::Capacity;
+    for (uint64_t i = 0; i < 64; ++i)
+        t.insert(i * stride, i + 1);
+    for (uint64_t i = 0; i < 64; ++i) {
+        const uint64_t *r = t.lookup(i * stride);
+        ASSERT_NE(r, nullptr);
+        EXPECT_EQ(*r, i + 1);
+    }
+    EXPECT_EQ(t.size(), 64u);
+}
+
+TEST(StoreForwardTable, MatchesReferenceMapUnderRandomTraffic)
+{
+    // Drive the flat table and a reference unordered_map with the
+    // same randomized insert/lookup stream, replicating Core's
+    // policy: insert on store, clear both when size exceeds the
+    // core's threshold. Any divergence would shift simulated cycles.
+    StoreForwardTable flat;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    Random rng(12345);
+
+    constexpr size_t ClearThreshold = 8192;
+    unsigned clears = 0;
+
+    for (int op = 0; op < 200000; ++op) {
+        // Skewed word space: hot words collide often (overwrites),
+        // cold words grow the table toward the clear threshold.
+        uint64_t word = rng.chance(0.3) ? rng.uniform(0, 63)
+                                        : rng.uniform(0, 1u << 20);
+        if (rng.chance(0.5)) {
+            uint64_t ready = rng.next();
+            flat.insert(word, ready);
+            ref[word] = ready;
+            if (flat.size() > ClearThreshold) {
+                flat.clear();
+                ref.clear();
+                ++clears;
+            }
+        } else {
+            const uint64_t *got = flat.lookup(word);
+            auto it = ref.find(word);
+            if (it == ref.end()) {
+                EXPECT_EQ(got, nullptr) << "word " << word;
+            } else {
+                ASSERT_NE(got, nullptr) << "word " << word;
+                EXPECT_EQ(*got, it->second) << "word " << word;
+            }
+        }
+        EXPECT_EQ(flat.size(), ref.size());
+    }
+    // The stream must actually cross the clear threshold for this
+    // test to cover the epoch path.
+    EXPECT_GT(clears, 0u);
+
+    // Final sweep: every surviving entry agrees both ways.
+    size_t visited = 0;
+    flat.forEach([&](uint64_t word, uint64_t ready) {
+        auto it = ref.find(word);
+        ASSERT_NE(it, ref.end());
+        EXPECT_EQ(it->second, ready);
+        ++visited;
+    });
+    EXPECT_EQ(visited, ref.size());
+}
+
+} // namespace
+} // namespace chex

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Throughput-record comparator for CI: `bench-compare BASELINE NEW`
+ * diffs two chex-bench-throughput-v1 documents (the committed
+ * BENCH_throughput.json vs a fresh micro_throughput run).
+ *
+ * Two classes of divergence, with different severities:
+ *
+ *  - Simulated-work drift (macroOps/uops/cycles): FATAL. The
+ *    simulator's retired-work counts are deterministic functions of
+ *    (profile, scale, seed, variant); host-side optimizations must
+ *    not move them. A mismatch means semantics changed — either a
+ *    bug, or a deliberate model change that forgot to regenerate the
+ *    committed record.
+ *
+ *  - Wall-clock regression (uopsPerSecond): WARNING only. Host
+ *    throughput depends on the machine running the comparison, so a
+ *    shared-runner CI cannot gate on it — but a drop past the
+ *    threshold (default 25%, override with --tolerance) is loud in
+ *    the log so a perf cliff does not land silently.
+ *
+ * Exit status: 0 on match (warnings included), 1 on fatal drift or
+ * unreadable/mismatched inputs.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "base/json.hh"
+
+namespace
+{
+
+using chex::json::Value;
+
+struct Row
+{
+    uint64_t macroOps = 0;
+    uint64_t uops = 0;
+    uint64_t cycles = 0;
+    double uopsPerSecond = 0.0;
+};
+
+bool
+loadDoc(const char *path, Value &doc, std::map<std::string, Row> &rows)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench-compare: cannot open %s\n", path);
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    if (!Value::parse(ss.str(), doc, &err)) {
+        std::fprintf(stderr, "bench-compare: %s: %s\n", path,
+                     err.c_str());
+        return false;
+    }
+    if (chex::json::getString(doc, "schema", "") !=
+        "chex-bench-throughput-v1") {
+        std::fprintf(stderr,
+                     "bench-compare: %s: not a "
+                     "chex-bench-throughput-v1 document\n",
+                     path);
+        return false;
+    }
+    const Value *variants = doc.find("variants");
+    if (!variants || !variants->isArray()) {
+        std::fprintf(stderr, "bench-compare: %s: missing variants[]\n",
+                     path);
+        return false;
+    }
+    for (const Value &v : variants->items()) {
+        Row r;
+        r.macroOps = chex::json::getUint(v, "macroOps", 0);
+        r.uops = chex::json::getUint(v, "uops", 0);
+        r.cycles = chex::json::getUint(v, "cycles", 0);
+        r.uopsPerSecond = chex::json::getDouble(v, "uopsPerSecond", 0);
+        rows[chex::json::getString(v, "variant", "?")] = r;
+    }
+    return true;
+}
+
+/** The measurement cell (profile/scale/seed) must match exactly. */
+bool
+sameCell(const Value &a, const Value &b)
+{
+    return chex::json::getString(a, "profile", "") ==
+               chex::json::getString(b, "profile", "") &&
+           chex::json::getUint(a, "scale", 0) ==
+               chex::json::getUint(b, "scale", 0) &&
+           chex::json::getUint(a, "seed", 0) ==
+               chex::json::getUint(b, "seed", 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double tolerance = 0.25;
+    const char *paths[2] = {nullptr, nullptr};
+    int npaths = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+            tolerance = std::atof(argv[++i]);
+        } else if (npaths < 2) {
+            paths[npaths++] = argv[i];
+        } else {
+            npaths = 3; // too many
+            break;
+        }
+    }
+    if (npaths != 2) {
+        std::fprintf(stderr,
+                     "usage: bench-compare [--tolerance F] "
+                     "BASELINE.json NEW.json\n");
+        return 1;
+    }
+
+    Value base_doc, new_doc;
+    std::map<std::string, Row> base_rows, new_rows;
+    if (!loadDoc(paths[0], base_doc, base_rows) ||
+        !loadDoc(paths[1], new_doc, new_rows)) {
+        return 1;
+    }
+    if (!sameCell(base_doc, new_doc)) {
+        std::fprintf(stderr,
+                     "bench-compare: profile/scale/seed differ — the "
+                     "records measure different cells\n");
+        return 1;
+    }
+
+    int fatal = 0, warnings = 0;
+    for (const auto &[name, b] : base_rows) {
+        auto it = new_rows.find(name);
+        if (it == new_rows.end()) {
+            std::fprintf(stderr,
+                         "FATAL: variant '%s' missing from %s\n",
+                         name.c_str(), paths[1]);
+            ++fatal;
+            continue;
+        }
+        const Row &n = it->second;
+        if (n.macroOps != b.macroOps || n.uops != b.uops ||
+            n.cycles != b.cycles) {
+            std::fprintf(
+                stderr,
+                "FATAL: %s: simulated counts drifted: "
+                "macroOps %llu->%llu uops %llu->%llu "
+                "cycles %llu->%llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(b.macroOps),
+                static_cast<unsigned long long>(n.macroOps),
+                static_cast<unsigned long long>(b.uops),
+                static_cast<unsigned long long>(n.uops),
+                static_cast<unsigned long long>(b.cycles),
+                static_cast<unsigned long long>(n.cycles));
+            ++fatal;
+        }
+        if (b.uopsPerSecond > 0.0 &&
+            n.uopsPerSecond < b.uopsPerSecond * (1.0 - tolerance)) {
+            std::fprintf(stderr,
+                         "WARNING: %s: uops/s dropped %.0f -> %.0f "
+                         "(-%.1f%%, tolerance %.0f%%)\n",
+                         name.c_str(), b.uopsPerSecond,
+                         n.uopsPerSecond,
+                         100.0 * (1.0 - n.uopsPerSecond /
+                                            b.uopsPerSecond),
+                         100.0 * tolerance);
+            ++warnings;
+        }
+    }
+    for (const auto &[name, r] : new_rows) {
+        (void)r;
+        if (!base_rows.count(name))
+            std::fprintf(stderr,
+                         "note: new variant '%s' not in baseline\n",
+                         name.c_str());
+    }
+
+    if (fatal) {
+        std::fprintf(stderr,
+                     "bench-compare: %d fatal mismatch(es) — "
+                     "simulated semantics changed\n",
+                     fatal);
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "bench-compare: simulated counts match for all %zu "
+                 "variants (%d wall-clock warning(s))\n",
+                 base_rows.size(), warnings);
+    return 0;
+}
