@@ -24,22 +24,21 @@ CapabilityTable::beginGeneration(uint64_t request_size,
     Capability cap;
     cap.bounds = static_cast<uint32_t>(request_size);
     cap.perms = CapBusy | CapRead | CapWrite | CapHeap;
-    caps[pid] = cap;
+    store.assign(pid, cap);
     return pid;
 }
 
 void
 CapabilityTable::endGeneration(Pid pid, uint64_t base)
 {
-    auto it = caps.find(pid);
-    if (it == caps.end())
+    Capability *cap = store.find(pid);
+    if (!cap)
         return;
-    Capability &cap = it->second;
-    cap.base = base;
-    cap.perms &= ~CapBusy;
+    cap->base = base;
+    cap->perms &= ~CapBusy;
     if (base != 0) {
-        cap.perms |= CapValid;
-        liveByBase[base] = pid;
+        cap->perms |= CapValid;
+        liveByBase.assign(base, pid);
         ++liveCount;
     }
 }
@@ -49,32 +48,30 @@ CapabilityTable::beginFree(Pid pid, uint64_t addr)
 {
     if (pid == NoPid || pid == WildPid)
         return Violation::InvalidFree;
-    auto it = caps.find(pid);
-    if (it == caps.end())
+    Capability *cap = store.find(pid);
+    if (!cap)
         return Violation::InvalidFree;
-    Capability &cap = it->second;
-    if (!(cap.perms & CapHeap))
+    if (!(cap->perms & CapHeap))
         return Violation::InvalidFree; // e.g. freeing a global
-    if (!cap.valid())
+    if (!cap->valid())
         return Violation::DoubleFree;
-    if (addr != cap.base)
+    if (addr != cap->base)
         return Violation::InvalidFree; // freeing an interior pointer
-    cap.perms |= CapBusy;
+    cap->perms |= CapBusy;
     return Violation::None;
 }
 
 void
 CapabilityTable::endFree(Pid pid)
 {
-    auto it = caps.find(pid);
-    if (it == caps.end())
+    Capability *cap = store.find(pid);
+    if (!cap)
         return;
-    Capability &cap = it->second;
-    bool was_valid = cap.valid();
-    cap.perms &= ~(CapValid | CapBusy);
+    bool was_valid = cap->valid();
+    cap->perms &= ~(CapValid | CapBusy);
     if (was_valid) {
-        liveByBase.erase(cap.base);
-        freedByBase[cap.base] = it->first;
+        liveByBase.erase(cap->base);
+        freedByBase.assign(cap->base, pid);
         --liveCount;
     }
 }
@@ -89,8 +86,8 @@ CapabilityTable::addGlobal(const std::string &name, uint64_t base,
     cap.base = base;
     cap.bounds = static_cast<uint32_t>(size);
     cap.perms = CapValid | CapRead | CapWrite;
-    caps[pid] = cap;
-    liveByBase[base] = pid;
+    store.assign(pid, cap);
+    liveByBase.assign(base, pid);
     ++liveCount;
     return pid;
 }
@@ -106,25 +103,24 @@ CapabilityTable::check(Pid pid, uint64_t addr, uint64_t size,
         result.violation = Violation::WildPointer;
         return result;
     }
-    auto it = caps.find(pid);
-    if (it == caps.end()) {
+    const Capability *cap = store.find(pid);
+    if (!cap) {
         result.violation = Violation::WildPointer;
         return result;
     }
-    const Capability &cap = it->second;
-    if (!cap.valid()) {
+    if (!cap->valid()) {
         result.violation = Violation::UseAfterFree;
         return result;
     }
-    if (!cap.contains(addr, size)) {
+    if (!cap->contains(addr, size)) {
         result.violation = Violation::OutOfBounds;
         return result;
     }
-    if (is_write && !cap.writable()) {
+    if (is_write && !cap->writable()) {
         result.violation = Violation::PermissionDenied;
         return result;
     }
-    if (!is_write && !cap.readable()) {
+    if (!is_write && !cap->readable()) {
         result.violation = Violation::PermissionDenied;
         return result;
     }
@@ -134,28 +130,25 @@ CapabilityTable::check(Pid pid, uint64_t addr, uint64_t size,
 const Capability *
 CapabilityTable::find(Pid pid) const
 {
-    auto it = caps.find(pid);
-    return it == caps.end() ? nullptr : &it->second;
+    return store.find(pid);
 }
 
 namespace
 {
 
 Pid
-searchByBase(const std::map<uint64_t, Pid> &index,
-             const std::unordered_map<Pid, Capability> &caps,
-             uint64_t addr)
+searchByBase(const IntervalIndex &index,
+             const PagedCapabilityStore &store, uint64_t addr)
 {
-    auto it = index.upper_bound(addr);
-    if (it == index.begin())
+    uint64_t base;
+    Pid pid;
+    if (!index.floor(addr, &base, &pid))
         return NoPid;
-    --it;
-    auto cit = caps.find(it->second);
-    if (cit == caps.end())
+    const Capability *cap = store.find(pid);
+    if (!cap)
         return NoPid;
-    const Capability &cap = cit->second;
-    if (addr >= cap.base && addr < cap.base + cap.bounds)
-        return it->second;
+    if (addr >= cap->base && addr < cap->base + cap->bounds)
+        return pid;
     return NoPid;
 }
 
@@ -164,9 +157,9 @@ searchByBase(const std::map<uint64_t, Pid> &index,
 Pid
 CapabilityTable::pidForAddress(uint64_t addr) const
 {
-    if (Pid pid = searchByBase(liveByBase, caps, addr))
+    if (Pid pid = searchByBase(liveByBase, store, addr))
         return pid;
-    return searchByBase(freedByBase, caps, addr);
+    return searchByBase(freedByBase, store, addr);
 }
 
 void
@@ -174,21 +167,17 @@ CapabilityTable::markInitialized(Pid pid, uint64_t addr, uint64_t size)
 {
     if (!trackInit || pid == NoPid || pid == WildPid)
         return;
-    auto cit = caps.find(pid);
-    if (cit == caps.end() || !cit->second.valid())
+    const Capability *cap = store.find(pid);
+    if (!cap || !cap->valid())
         return;
-    const Capability &cap = cit->second;
-    if (addr < cap.base || addr >= cap.base + cap.bounds)
+    if (addr < cap->base || addr >= cap->base + cap->bounds)
         return;
-    uint64_t first_word = (addr - cap.base) / 8;
+    uint64_t first_word = (addr - cap->base) / 8;
     uint64_t last_word = (addr + std::max<uint64_t>(size, 1) - 1 -
-                          cap.base) / 8;
-    auto &bits = initBits[pid];
-    uint64_t need = (cap.bounds + 63) / 64 + 1;
-    if (bits.size() < need)
-        bits.resize(need, 0);
-    for (uint64_t w = first_word; w <= last_word; ++w)
-        bits[w / 64] |= 1ull << (w % 64);
+                          cap->base) / 8;
+    InitShadow &sh = initBits[pid];
+    sh.words = std::max(sh.words, initWordsFor(*cap));
+    sh.set.add(first_word, last_word + 1);
 }
 
 void
@@ -196,40 +185,54 @@ CapabilityTable::markAllInitialized(Pid pid)
 {
     if (!trackInit)
         return;
-    auto cit = caps.find(pid);
-    if (cit == caps.end())
+    const Capability *cap = store.find(pid);
+    if (!cap)
         return;
-    auto &bits = initBits[pid];
-    bits.assign((cit->second.bounds + 63) / 64 + 1, ~0ull);
+    // The old representation re-assigned the whole bitmap here, so
+    // the shadow length snaps to the capability's size even if a
+    // restored entry was longer.
+    InitShadow &sh = initBits[pid];
+    sh.words = initWordsFor(*cap);
+    sh.set.clear();
+    sh.set.add(0, sh.words * 64);
 }
 
 bool
 CapabilityTable::isInitialized(Pid pid, uint64_t addr,
                                uint64_t size) const
 {
-    auto cit = caps.find(pid);
-    if (cit == caps.end())
+    const Capability *cap = store.find(pid);
+    if (!cap)
         return true;
-    const Capability &cap = cit->second;
     auto bit = initBits.find(pid);
     if (bit == initBits.end())
         return false;
-    const auto &bits = bit->second;
-    uint64_t first_word = (addr - cap.base) / 8;
+    const InitShadow &sh = bit->second;
+    uint64_t first_word = (addr - cap->base) / 8;
     uint64_t last_word =
-        (addr + std::max<uint64_t>(size, 1) - 1 - cap.base) / 8;
-    for (uint64_t w = first_word; w <= last_word; ++w) {
-        if (w / 64 >= bits.size() ||
-            !(bits[w / 64] & (1ull << (w % 64))))
-            return false;
+        (addr + std::max<uint64_t>(size, 1) - 1 - cap->base) / 8;
+    // Words past the shadow length read as uninitialized, exactly
+    // like indexing past the old bitmap vector.
+    if (first_word > last_word || last_word >= sh.words * 64)
+        return false;
+    return sh.set.covers(first_word, last_word + 1);
+}
+
+uint64_t
+CapabilityTable::initShadowBytes() const
+{
+    uint64_t bytes = 0;
+    for (const auto &[pid, sh] : initBits) {
+        (void)pid;
+        bytes += sizeof(InitShadow) + sh.set.storageBytes();
     }
-    return true;
+    return bytes;
 }
 
 void
 CapabilityTable::clear()
 {
-    caps.clear();
+    store.clear();
     liveByBase.clear();
     freedByBase.clear();
     initBits.clear();
@@ -240,46 +243,49 @@ CapabilityTable::clear()
 json::Value
 CapabilityTable::saveState() const
 {
-    std::vector<Pid> pids;
-    pids.reserve(caps.size());
-    for (const auto &[pid, cap] : caps)
-        pids.push_back(pid);
-    std::sort(pids.begin(), pids.end());
-
     json::Value jcaps = json::Value::array();
-    for (Pid pid : pids) {
-        const Capability &cap = caps.at(pid);
+    store.forEach([&](Pid pid, const Capability &cap) {
         jcaps.push(json::Value::object()
                        .set("pid", pid)
                        .set("base", cap.base)
                        .set("bounds", cap.bounds)
                        .set("perms", cap.perms));
-    }
+    });
 
     // The interval indices are serialized verbatim rather than
     // rebuilt from the perms bits: on base collisions (e.g. a freed
     // block re-allocated at the same address) the index keeps the
-    // most recent PID, which a rebuild from the unordered capability
-    // map could not reproduce deterministically.
-    auto index_json = [](const std::map<uint64_t, Pid> &index) {
+    // most recent PID, which a rebuild from the capability store
+    // could not reproduce deterministically.
+    auto index_json = [](const IntervalIndex &index) {
         json::Value out = json::Value::array();
-        for (const auto &[base, pid] : index) {
+        index.forEach([&](uint64_t base, Pid pid) {
             json::Value pair = json::Value::array();
             pair.push(base);
             pair.push(pid);
             out.push(std::move(pair));
-        }
+        });
         return out;
     };
 
     std::vector<Pid> init_pids;
     init_pids.reserve(initBits.size());
-    for (const auto &[pid, words] : initBits)
+    for (const auto &[pid, sh] : initBits) {
+        (void)sh;
         init_pids.push_back(pid);
+    }
     std::sort(init_pids.begin(), init_pids.end());
     json::Value jinit = json::Value::array();
     for (Pid pid : init_pids) {
-        const std::vector<uint64_t> &words = initBits.at(pid);
+        const InitShadow &sh = initBits.at(pid);
+        // Materialize the word bitmap the old representation held,
+        // so the snapshot document stays byte-identical.
+        std::vector<uint64_t> words(sh.words, 0);
+        for (const auto &[lo, hi] : sh.set.items()) {
+            uint64_t end = std::min<uint64_t>(hi, sh.words * 64);
+            for (uint64_t w = lo; w < end; ++w)
+                words[w / 64] |= 1ull << (w % 64);
+        }
         json::Value jwords = json::Value::array();
         for (uint64_t w : words)
             jwords.push(w);
@@ -318,15 +324,17 @@ CapabilityTable::restoreState(const json::Value &v)
         cap.base = json::getUint(je, "base", 0);
         cap.bounds = static_cast<uint32_t>(json::getUint(je, "bounds", 0));
         cap.perms = static_cast<uint32_t>(json::getUint(je, "perms", 0));
-        caps[static_cast<Pid>(json::getUint(je, "pid", 0))] = cap;
+        store.assign(static_cast<Pid>(json::getUint(je, "pid", 0)),
+                     cap);
     }
     auto restore_index = [](const json::Value &list,
-                            std::map<uint64_t, Pid> &index) {
+                            IntervalIndex &index) {
         for (const json::Value &pair : list.items()) {
             if (!pair.isArray() || pair.size() != 2)
                 return false;
-            index[pair.at(size_t(0)).asUint64()] =
-                static_cast<Pid>(pair.at(size_t(1)).asUint64());
+            index.assign(pair.at(size_t(0)).asUint64(),
+                         static_cast<Pid>(
+                             pair.at(size_t(1)).asUint64()));
         }
         return true;
     };
@@ -340,12 +348,29 @@ CapabilityTable::restoreState(const json::Value &v)
         const json::Value *jwords = je.find("words");
         if (!jwords || !jwords->isArray())
             return false;
-        std::vector<uint64_t> words;
-        words.reserve(jwords->size());
-        for (const json::Value &w : jwords->items())
-            words.push_back(w.asUint64());
+        InitShadow sh;
+        sh.words = jwords->size();
+        // Recover merged intervals from the serialized bitmap.
+        uint64_t run_start = 0;
+        bool in_run = false;
+        for (uint64_t wi = 0; wi < sh.words; ++wi) {
+            uint64_t word = jwords->at(wi).asUint64();
+            for (uint64_t b = 0; b < 64; ++b) {
+                bool set = word & (1ull << b);
+                uint64_t idx = wi * 64 + b;
+                if (set && !in_run) {
+                    run_start = idx;
+                    in_run = true;
+                } else if (!set && in_run) {
+                    sh.set.add(run_start, idx);
+                    in_run = false;
+                }
+            }
+        }
+        if (in_run)
+            sh.set.add(run_start, sh.words * 64);
         initBits[static_cast<Pid>(json::getUint(je, "pid", 0))] =
-            std::move(words);
+            std::move(sh);
     }
     nextPid = static_cast<Pid>(json::getUint(v, "nextPid", 1));
     liveCount = json::getUint(v, "liveCount", 0);

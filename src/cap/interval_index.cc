@@ -1,0 +1,172 @@
+#include "interval_index.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace chex
+{
+
+size_t
+IntervalIndex::chunkFor(uint64_t base) const
+{
+    // Last chunk with minimum <= base; keys below every minimum go
+    // into chunk 0 (its minimum drops on insert).
+    auto it = std::upper_bound(chunkMin.begin(), chunkMin.end(), base);
+    if (it == chunkMin.begin())
+        return 0;
+    return static_cast<size_t>(it - chunkMin.begin()) - 1;
+}
+
+unsigned
+IntervalIndex::slotLowerBound(const Chunk &c, uint64_t base)
+{
+    return static_cast<unsigned>(
+        std::lower_bound(c.bases, c.bases + c.n, base) - c.bases);
+}
+
+std::unique_ptr<IntervalIndex::Chunk>
+IntervalIndex::takeChunk()
+{
+    if (!pool.empty()) {
+        std::unique_ptr<Chunk> c = std::move(pool.back());
+        pool.pop_back();
+        c->n = 0;
+        return c;
+    }
+    return std::make_unique<Chunk>();
+}
+
+void
+IntervalIndex::releaseChunk(std::unique_ptr<Chunk> c)
+{
+    pool.push_back(std::move(c));
+}
+
+void
+IntervalIndex::assign(uint64_t base, Pid pid)
+{
+    if (chunks.empty()) {
+        chunks.push_back(takeChunk());
+        chunkMin.push_back(base);
+        Chunk &c = *chunks[0];
+        c.bases[0] = base;
+        c.pids[0] = pid;
+        c.n = 1;
+        count = 1;
+        return;
+    }
+    size_t ci = chunkFor(base);
+    Chunk *c = chunks[ci].get();
+    unsigned slot = slotLowerBound(*c, base);
+    if (slot < c->n && c->bases[slot] == base) {
+        c->pids[slot] = pid; // overwrite, like map operator[]
+        return;
+    }
+    if (c->n == ChunkCap) {
+        // Split into two half-full chunks, then re-aim.
+        std::unique_ptr<Chunk> right = takeChunk();
+        constexpr unsigned Half = ChunkCap / 2;
+        std::memcpy(right->bases, c->bases + Half, Half * sizeof(uint64_t));
+        std::memcpy(right->pids, c->pids + Half, Half * sizeof(Pid));
+        right->n = Half;
+        c->n = Half;
+        chunkMin.insert(chunkMin.begin() + ci + 1, right->bases[0]);
+        chunks.insert(chunks.begin() + ci + 1, std::move(right));
+        if (base >= chunkMin[ci + 1]) {
+            ++ci;
+            slot -= Half;
+        }
+        c = chunks[ci].get();
+    }
+    std::memmove(c->bases + slot + 1, c->bases + slot,
+                 (c->n - slot) * sizeof(uint64_t));
+    std::memmove(c->pids + slot + 1, c->pids + slot,
+                 (c->n - slot) * sizeof(Pid));
+    c->bases[slot] = base;
+    c->pids[slot] = pid;
+    ++c->n;
+    if (slot == 0)
+        chunkMin[ci] = base;
+    ++count;
+}
+
+bool
+IntervalIndex::erase(uint64_t base)
+{
+    if (chunks.empty())
+        return false;
+    size_t ci = chunkFor(base);
+    Chunk &c = *chunks[ci];
+    unsigned slot = slotLowerBound(c, base);
+    if (slot >= c.n || c.bases[slot] != base)
+        return false;
+    std::memmove(c.bases + slot, c.bases + slot + 1,
+                 (c.n - slot - 1) * sizeof(uint64_t));
+    std::memmove(c.pids + slot, c.pids + slot + 1,
+                 (c.n - slot - 1) * sizeof(Pid));
+    --c.n;
+    --count;
+    if (c.n == 0) {
+        releaseChunk(std::move(chunks[ci]));
+        chunks.erase(chunks.begin() + ci);
+        chunkMin.erase(chunkMin.begin() + ci);
+        return true;
+    }
+    if (slot == 0)
+        chunkMin[ci] = c.bases[0];
+    // Keep occupancy bounded under churn: fold a drained chunk into
+    // its successor when both comfortably fit in one.
+    if (c.n < ChunkCap / 4 && ci + 1 < chunks.size() &&
+        c.n + chunks[ci + 1]->n <= ChunkCap - ChunkCap / 4) {
+        Chunk &next = *chunks[ci + 1];
+        std::memcpy(c.bases + c.n, next.bases,
+                    next.n * sizeof(uint64_t));
+        std::memcpy(c.pids + c.n, next.pids, next.n * sizeof(Pid));
+        c.n += next.n;
+        releaseChunk(std::move(chunks[ci + 1]));
+        chunks.erase(chunks.begin() + ci + 1);
+        chunkMin.erase(chunkMin.begin() + ci + 1);
+    }
+    return true;
+}
+
+const Pid *
+IntervalIndex::lookup(uint64_t base) const
+{
+    if (chunks.empty())
+        return nullptr;
+    const Chunk &c = *chunks[chunkFor(base)];
+    unsigned slot = slotLowerBound(c, base);
+    if (slot < c.n && c.bases[slot] == base)
+        return &c.pids[slot];
+    return nullptr;
+}
+
+bool
+IntervalIndex::floor(uint64_t addr, uint64_t *base, Pid *pid) const
+{
+    if (chunks.empty())
+        return false;
+    size_t ci = chunkFor(addr);
+    const Chunk &c = *chunks[ci];
+    // First slot with base > addr; the floor is the one before it.
+    unsigned slot = static_cast<unsigned>(
+        std::upper_bound(c.bases, c.bases + c.n, addr) - c.bases);
+    if (slot == 0)
+        return false; // addr < every base (only possible in chunk 0)
+    *base = c.bases[slot - 1];
+    *pid = c.pids[slot - 1];
+    return true;
+}
+
+void
+IntervalIndex::clear()
+{
+    for (auto &c : chunks)
+        pool.push_back(std::move(c));
+    chunks.clear();
+    chunkMin.clear();
+    count = 0;
+}
+
+} // namespace chex

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Sorted base-address -> PID index for the capability table's
+ * exhaustive search, replacing the node-per-entry std::map. Entries
+ * live in fixed-capacity sorted chunks (a two-level B-tree, leaves
+ * only): locating a key is a binary search over the chunk-minimum
+ * summary vector followed by a binary search inside one contiguous
+ * chunk — two cache-friendly probes instead of a red-black pointer
+ * chase — and insertion is a bounded memmove inside a chunk, with a
+ * split every ~half-chunk of growth instead of a heap allocation per
+ * capability. Emptied and split-off chunks are recycled through a
+ * pool, kremlin MemMapPool-style.
+ *
+ * Semantics mirror the std::map the capability table used:
+ * assign() overwrites on an equal base (a freed block re-allocated
+ * at the same address keeps the most recent PID), erase() is exact,
+ * and floor() matches upper_bound()-then-decrement.
+ */
+
+#ifndef CHEX_CAP_INTERVAL_INDEX_HH
+#define CHEX_CAP_INTERVAL_INDEX_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cap/capability.hh"
+
+namespace chex
+{
+
+/** Pooled-chunk sorted map: allocation base address -> PID. */
+class IntervalIndex
+{
+  public:
+    /** Entries per chunk; a chunk is ~1.5 KiB of contiguous data. */
+    static constexpr unsigned ChunkCap = 128;
+    /** Accounted bytes per chunk (bases + pids + occupancy). */
+    static constexpr uint64_t ChunkBytes =
+        ChunkCap * (8 + 4) + 8;
+
+    /** Insert @p base -> @p pid, overwriting an equal base. */
+    void assign(uint64_t base, Pid pid);
+
+    /** Erase the entry with exactly @p base; false if absent. */
+    bool erase(uint64_t base);
+
+    /** Exact lookup; nullptr if @p base is not present. */
+    const Pid *lookup(uint64_t base) const;
+
+    /**
+     * Greatest entry with base <= @p addr (the map idiom
+     * upper_bound(addr) then --it). False if none.
+     */
+    bool floor(uint64_t addr, uint64_t *base, Pid *pid) const;
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Chunks currently in use (excludes the pool). */
+    uint64_t chunkCount() const { return chunks.size(); }
+
+    /** Bytes of chunk storage backing live entries. */
+    uint64_t
+    storageBytes() const
+    {
+        return chunks.size() * ChunkBytes;
+    }
+
+    /** Drop everything; chunks are retained in the pool. */
+    void clear();
+
+    /** Ascending-base iteration. */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (const auto &c : chunks)
+            for (unsigned i = 0; i < c->n; ++i)
+                fn(c->bases[i], c->pids[i]);
+    }
+
+  private:
+    struct Chunk
+    {
+        uint64_t bases[ChunkCap];
+        Pid pids[ChunkCap];
+        unsigned n = 0;
+    };
+
+    /**
+     * Index of the chunk whose key range contains @p base: the last
+     * chunk with minimum <= base, clamped to 0 so keys below every
+     * minimum still land in the first chunk.
+     */
+    size_t chunkFor(uint64_t base) const;
+
+    /** First slot in @p c with bases[slot] >= base. */
+    static unsigned slotLowerBound(const Chunk &c, uint64_t base);
+
+    std::unique_ptr<Chunk> takeChunk();
+    void releaseChunk(std::unique_ptr<Chunk> c);
+
+    /** Ordered chunks; chunkMin[i] caches chunks[i]->bases[0]. */
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::vector<uint64_t> chunkMin;
+    std::vector<std::unique_ptr<Chunk>> pool;
+    size_t count = 0;
+};
+
+} // namespace chex
+
+#endif // CHEX_CAP_INTERVAL_INDEX_HH

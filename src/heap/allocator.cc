@@ -66,69 +66,20 @@ HeapAllocator::writeSizeField(uint64_t chunk, uint64_t size_and_flags,
 void
 HeapAllocator::poison(uint64_t addr, uint64_t len)
 {
-    if (len == 0)
-        return;
-    uint64_t end = addr + len;
-    // Merge with any overlapping/adjacent ranges.
-    auto it = poisonRanges.lower_bound(addr);
-    if (it != poisonRanges.begin()) {
-        auto prev = std::prev(it);
-        if (prev->second >= addr) {
-            addr = prev->first;
-            end = std::max(end, prev->second);
-            it = poisonRanges.erase(prev);
-        }
-    }
-    while (it != poisonRanges.end() && it->first <= end) {
-        end = std::max(end, it->second);
-        it = poisonRanges.erase(it);
-    }
-    poisonRanges[addr] = end;
+    poisonRanges.add(addr, addr + len);
 }
 
 void
 HeapAllocator::unpoison(uint64_t addr, uint64_t len)
 {
-    if (len == 0)
-        return;
-    uint64_t end = addr + len;
-    auto it = poisonRanges.lower_bound(addr);
-    if (it != poisonRanges.begin()) {
-        auto prev = std::prev(it);
-        if (prev->second > addr) {
-            uint64_t p_start = prev->first;
-            uint64_t p_end = prev->second;
-            poisonRanges.erase(prev);
-            if (p_start < addr)
-                poisonRanges[p_start] = addr;
-            if (p_end > end)
-                poisonRanges[end] = p_end;
-        }
-    }
-    it = poisonRanges.lower_bound(addr);
-    while (it != poisonRanges.end() && it->first < end) {
-        uint64_t p_end = it->second;
-        it = poisonRanges.erase(it);
-        if (p_end > end) {
-            poisonRanges[end] = p_end;
-            break;
-        }
-    }
+    poisonRanges.subtract(addr, addr + len);
 }
 
 bool
 HeapAllocator::isPoisoned(uint64_t addr, uint64_t size) const
 {
-    uint64_t end = addr + std::max<uint64_t>(size, 1);
-    auto it = poisonRanges.upper_bound(addr);
-    if (it != poisonRanges.begin()) {
-        auto prev = std::prev(it);
-        if (prev->second > addr)
-            return true;
-    }
-    if (it != poisonRanges.end() && it->first < end)
-        return true;
-    return false;
+    return poisonRanges.overlaps(addr,
+                                 addr + std::max<uint64_t>(size, 1));
 }
 
 uint64_t
@@ -358,7 +309,7 @@ HeapAllocator::saveState() const
     for (uint64_t b : bins)
         jbins.push(b);
     json::Value jpoison = json::Value::array();
-    for (const auto &[start, end] : poisonRanges) {
+    for (const auto &[start, end] : poisonRanges.items()) {
         json::Value pair = json::Value::array();
         pair.push(start);
         pair.push(end);
@@ -407,8 +358,8 @@ HeapAllocator::restoreState(const json::Value &v)
     for (const json::Value &pair : jpoison->items()) {
         if (!pair.isArray() || pair.size() != 2)
             return false;
-        poisonRanges[pair.at(size_t(0)).asUint64()] =
-            pair.at(size_t(1)).asUint64();
+        poisonRanges.add(pair.at(size_t(0)).asUint64(),
+                         pair.at(size_t(1)).asUint64());
     }
     quarantine.clear();
     for (const json::Value &pair : jquar->items()) {

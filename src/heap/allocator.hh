@@ -19,9 +19,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <vector>
 
+#include "base/range_set.hh"
 #include "base/stats.hh"
 #include "mem/sparse_memory.hh"
 
@@ -150,7 +150,10 @@ class HeapAllocator
     uint64_t bins[NumBins] = {};
 
     AsanConfig asan;
-    std::map<uint64_t, uint64_t> poisonRanges; // start -> end
+    // Flat sorted poison ranges: this sits on the free path of every
+    // poisoning variant, where the node-per-range std::map paid a
+    // heap allocation and a pointer chase per free.
+    RangeSet poisonRanges;
     struct QuarantineEntry
     {
         uint64_t chunk;

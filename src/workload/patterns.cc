@@ -20,6 +20,7 @@ patternName(PatternKind kind)
       case PatternKind::RepeatNoStride: return "Repeat + No Stride";
       case PatternKind::RandomStride: return "Random + Stride";
       case PatternKind::RandomNoStride: return "Random + No Stride";
+      case PatternKind::Zipf: return "Zipf";
       default: return "???";
     }
 }
@@ -104,6 +105,34 @@ generateSchedule(PatternKind kind, const PatternParams &params,
             out.push_back(wrap(v));
             // Small local steps: random order but striding locality.
             v += static_cast<int64_t>(rng.uniform(0, 6)) - 3;
+        }
+        break;
+      }
+
+      case PatternKind::Zipf: {
+        // Harmonic (s=1) popularity weights over a random
+        // rank->buffer permutation: rank r is drawn with weight
+        // 1/(r+1), so a handful of hot buffers absorbs most visits
+        // while the tail still gets touched — request/response reuse
+        // in a heavy-traffic service.
+        std::vector<double> cdf(n);
+        double sum = 0.0;
+        for (unsigned r = 0; r < n; ++r) {
+            sum += 1.0 / static_cast<double>(r + 1);
+            cdf[r] = sum;
+        }
+        std::vector<unsigned> slot(n);
+        for (unsigned i = 0; i < n; ++i)
+            slot[i] = i;
+        for (unsigned i = n; i > 1; --i)
+            std::swap(slot[i - 1],
+                      slot[rng.uniform(0, i - 1)]);
+        for (unsigned i = 0; i < params.length; ++i) {
+            double u = rng.uniformReal() * sum;
+            unsigned rank = static_cast<unsigned>(
+                std::lower_bound(cdf.begin(), cdf.end(), u) -
+                cdf.begin());
+            out.push_back(slot[std::min(rank, n - 1)]);
         }
         break;
       }

@@ -19,7 +19,14 @@
 namespace chex
 {
 
-/** The eight temporal patterns of Table II. */
+/**
+ * The eight temporal patterns of Table II, plus Zipf — a
+ * popularity-skewed draw modelling request/response reuse in a
+ * heavy-traffic service (hot session objects dominate, a long tail
+ * of cold ones). Zipf is generated for the server profile family
+ * only; the classifier never emits it (an observed Zipf stream
+ * reads as one of the paper's random classes).
+ */
 enum class PatternKind : uint8_t
 {
     Constant,       // 31 31 31 31 ...
@@ -30,6 +37,7 @@ enum class PatternKind : uint8_t
     RepeatNoStride, // 26 57 5 26 57 5 ...  (repeating, arbitrary)
     RandomStride,   // random order, locally strided
     RandomNoStride, // fully random
+    Zipf,           // popularity-ranked skew (server reuse)
 };
 
 /** Printable pattern name as in Table II. */

@@ -91,6 +91,52 @@ buildProfiles()
     return v;
 }
 
+std::vector<BenchmarkProfile>
+buildServerProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+
+    auto add = [&](const char *name, uint64_t total_allocs,
+                   uint64_t max_live, unsigned in_use,
+                   unsigned accesses, double ptr_intensity,
+                   uint64_t iters, uint64_t sz_min, uint64_t sz_max,
+                   unsigned sched_len) {
+        BenchmarkProfile p;
+        p.name = name;
+        p.isParsec = false;
+        p.totalAllocations = total_allocs;
+        p.maxLiveBuffers = max_live;
+        p.buffersInUse = in_use;
+        p.dominantPattern = PatternKind::Zipf;
+        p.pointerIntensity = ptr_intensity;
+        p.chaseDepth = 0;
+        p.accessesPerVisit = accesses;
+        p.fpFraction = 0.02;
+        p.branchiness = 0.35;
+        p.iterations = iters;
+        p.allocSizeMin = sz_min;
+        p.allocSizeMax = sz_max;
+        p.scheduleLength = sched_len;
+        v.push_back(p);
+    };
+
+    // CI/smoke-sized member: the same request/response churn shape,
+    // small enough that a scaled campaign point finishes in seconds.
+    add("server-lite", 30000, 3000, 64, 5, 0.75, 120000, 32, 512,
+        2048);
+    // In-memory cache: huge read-mostly live set, light turnover —
+    // the table is dominated by live-capability lookups.
+    add("server-cache", 450000, 250000, 1024, 7, 0.80, 800000, 32,
+        1024, 8192);
+    // The flagship: request/response churn with hundreds of
+    // thousands of allocations in flight and millions created over
+    // the run — the PICASSO-scale regime the paged table targets.
+    add("server-churn", 2200000, 200000, 512, 5, 0.80, 8000000, 32,
+        1024, 8192);
+
+    return v;
+}
+
 } // anonymous namespace
 
 BenchmarkProfile
@@ -110,12 +156,19 @@ allProfiles()
     return profiles;
 }
 
+const std::vector<BenchmarkProfile> &
+serverProfiles()
+{
+    static const std::vector<BenchmarkProfile> profiles =
+        buildServerProfiles();
+    return profiles;
+}
+
 const BenchmarkProfile &
 profileByName(const std::string &name)
 {
-    for (const auto &p : allProfiles())
-        if (p.name == name)
-            return p;
+    if (const BenchmarkProfile *p = findProfileByName(name))
+        return *p;
     chex_fatal("unknown benchmark profile '%s'", name.c_str());
 }
 
@@ -123,6 +176,9 @@ const BenchmarkProfile *
 findProfileByName(const std::string &name)
 {
     for (const auto &p : allProfiles())
+        if (p.name == name)
+            return &p;
+    for (const auto &p : serverProfiles())
         if (p.name == name)
             return &p;
     return nullptr;

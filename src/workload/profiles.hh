@@ -74,12 +74,28 @@ struct BenchmarkProfile
 /** All 14 profiles (8 SPEC + 6 PARSEC), Figure 6 order. */
 const std::vector<BenchmarkProfile> &allProfiles();
 
+/**
+ * The server profile family (beyond the paper): request/response
+ * heap churn like a heavy-traffic service, with Zipf-skewed reuse
+ * and live sets far past SPEC scale. Not part of allProfiles(), so
+ * the paper's figures and the default campaign set are unchanged;
+ * selectable by name or via the CLI's `server` family token.
+ *
+ *  - server-lite:  CI/smoke-sized churn (thousands live).
+ *  - server-cache: in-memory-cache shape — a quarter-million live
+ *    allocations, read-mostly, light turnover.
+ *  - server-churn: the flagship — hundreds of thousands live,
+ *    millions of total allocations over the full run.
+ */
+const std::vector<BenchmarkProfile> &serverProfiles();
+
 /** Profile lookup by name; fatal if unknown. */
 const BenchmarkProfile &profileByName(const std::string &name);
 
 /**
  * Non-fatal profile lookup for reconstructing specs from external
- * input (report rows, CLI tokens); nullptr when unknown.
+ * input (report rows, CLI tokens); nullptr when unknown. Searches
+ * the paper set and the server family.
  */
 const BenchmarkProfile *findProfileByName(const std::string &name);
 

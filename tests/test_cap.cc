@@ -160,7 +160,43 @@ TEST(CapTable, StorageScalesWithAllocations)
         t.endGeneration(p, 0x10000 + 0x100 * static_cast<uint64_t>(i));
     }
     EXPECT_EQ(t.totalCapabilities(), 100u);
-    EXPECT_EQ(t.storageBytes(), 1600u);
+    // Honest accounting: one capability page plus one live-index
+    // chunk (the old 16-bytes-per-capability figure ignored the
+    // interval indices entirely).
+    EXPECT_EQ(t.storageBytes(), PagedCapabilityStore::PageBytes +
+                                    IntervalIndex::ChunkBytes);
+
+    // Freeing moves bases to the freed index, which is now counted.
+    for (int i = 0; i < 100; ++i) {
+        Pid p = static_cast<Pid>(i + 1);
+        t.beginFree(p, 0x10000 + 0x100 * static_cast<uint64_t>(i));
+        t.endFree(p);
+    }
+    EXPECT_EQ(t.storageBytes(), PagedCapabilityStore::PageBytes +
+                                    IntervalIndex::ChunkBytes);
+
+    // Growth past a page boundary allocates another page.
+    uint64_t one_page = t.storageBytes();
+    for (uint64_t i = 0; i < PagedCapabilityStore::PageSlots; ++i) {
+        Pid p = t.beginGeneration(64, &v);
+        t.endGeneration(p, 0x1000000 + 0x100 * i);
+    }
+    EXPECT_GT(t.storageBytes(), one_page);
+    EXPECT_GE(t.storageBytes(), 2 * PagedCapabilityStore::PageBytes);
+}
+
+TEST(CapTable, InitShadowCountedInStorage)
+{
+    CapabilityTable t;
+    t.setTrackInitialization(true);
+    Violation v;
+    Pid p = t.beginGeneration(4096, &v);
+    t.endGeneration(p, 0x5000);
+    uint64_t before = t.storageBytes();
+    EXPECT_EQ(t.initShadowBytes(), 0u);
+    t.markAllInitialized(p); // calloc: one interval, not a bitmap
+    EXPECT_GT(t.initShadowBytes(), 0u);
+    EXPECT_GT(t.storageBytes(), before);
 }
 
 TEST(CapCache, HitAfterFill)

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Equivalence tests for the pooled-chunk IntervalIndex against the
+ * std::map<uint64_t, Pid> it replaced in the capability table. The
+ * exhaustive-search semantics (floor = upper_bound-then-decrement,
+ * assign overwrites on equal base, exact erase) must match the map
+ * bit-for-bit across chunk splits, drain-merges, and clear-reuse —
+ * the use-after-free detector resolves freed PIDs through exactly
+ * these lookups.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/random.hh"
+#include "cap/interval_index.hh"
+
+namespace chex
+{
+namespace
+{
+
+/** floor() computed the way cap_table did it on std::map. */
+bool
+mapFloor(const std::map<uint64_t, Pid> &m, uint64_t addr,
+         uint64_t *base, Pid *pid)
+{
+    auto it = m.upper_bound(addr);
+    if (it == m.begin())
+        return false;
+    --it;
+    *base = it->first;
+    *pid = it->second;
+    return true;
+}
+
+void
+expectSameForEach(const IntervalIndex &idx,
+                  const std::map<uint64_t, Pid> &m)
+{
+    std::vector<std::pair<uint64_t, Pid>> got;
+    idx.forEach([&](uint64_t b, Pid p) { got.push_back({b, p}); });
+    ASSERT_EQ(got.size(), m.size());
+    size_t i = 0;
+    for (const auto &[b, p] : m) {
+        ASSERT_EQ(got[i].first, b) << "order diverged at " << i;
+        ASSERT_EQ(got[i].second, p);
+        ++i;
+    }
+}
+
+TEST(IntervalIndex, BasicAssignLookupErase)
+{
+    IntervalIndex idx;
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.lookup(10), nullptr);
+
+    idx.assign(10, 1);
+    idx.assign(30, 2);
+    idx.assign(20, 3);
+    EXPECT_EQ(idx.size(), 3u);
+    ASSERT_NE(idx.lookup(20), nullptr);
+    EXPECT_EQ(*idx.lookup(20), 3u);
+
+    // Equal base overwrites: a freed block re-allocated at the same
+    // address must resolve to the newest PID.
+    idx.assign(20, 9);
+    EXPECT_EQ(idx.size(), 3u);
+    EXPECT_EQ(*idx.lookup(20), 9u);
+
+    EXPECT_TRUE(idx.erase(20));
+    EXPECT_FALSE(idx.erase(20));
+    EXPECT_EQ(idx.lookup(20), nullptr);
+    EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(IntervalIndex, FloorMatchesMapIdiom)
+{
+    IntervalIndex idx;
+    idx.assign(100, 1);
+    idx.assign(200, 2);
+
+    uint64_t base;
+    Pid pid;
+    // Below every entry: no floor.
+    EXPECT_FALSE(idx.floor(99, &base, &pid));
+    // Exact hit.
+    ASSERT_TRUE(idx.floor(100, &base, &pid));
+    EXPECT_EQ(base, 100u);
+    EXPECT_EQ(pid, 1u);
+    // Between entries: the lower one.
+    ASSERT_TRUE(idx.floor(199, &base, &pid));
+    EXPECT_EQ(base, 100u);
+    // Past the top.
+    ASSERT_TRUE(idx.floor(~0ull, &base, &pid));
+    EXPECT_EQ(base, 200u);
+    EXPECT_EQ(pid, 2u);
+}
+
+TEST(IntervalIndex, SplitsPreserveOrderAndChunksAreAccounted)
+{
+    // Enough ascending entries to force several chunk splits.
+    IntervalIndex idx;
+    std::map<uint64_t, Pid> model;
+    for (uint64_t i = 0; i < 1000; ++i) {
+        idx.assign(i * 64, static_cast<Pid>(i + 1));
+        model[i * 64] = static_cast<Pid>(i + 1);
+    }
+    EXPECT_EQ(idx.size(), 1000u);
+    EXPECT_GT(idx.chunkCount(), 1u);
+    EXPECT_EQ(idx.storageBytes(),
+              idx.chunkCount() * IntervalIndex::ChunkBytes);
+    expectSameForEach(idx, model);
+
+    // Erase back down: chunks drain, merge, and are released.
+    for (uint64_t i = 0; i < 1000; ++i)
+        EXPECT_TRUE(idx.erase(i * 64));
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.chunkCount(), 0u);
+    EXPECT_EQ(idx.storageBytes(), 0u);
+}
+
+TEST(IntervalIndex, ClearRetainsPoolAndStaysUsable)
+{
+    IntervalIndex idx;
+    for (uint64_t i = 0; i < 500; ++i)
+        idx.assign(i * 8, static_cast<Pid>(i + 1));
+    idx.clear();
+    EXPECT_TRUE(idx.empty());
+    EXPECT_EQ(idx.storageBytes(), 0u);
+
+    // Fully usable after clear (pooled chunks recycled).
+    idx.assign(42, 7);
+    ASSERT_NE(idx.lookup(42), nullptr);
+    EXPECT_EQ(*idx.lookup(42), 7u);
+    uint64_t base;
+    Pid pid;
+    ASSERT_TRUE(idx.floor(100, &base, &pid));
+    EXPECT_EQ(base, 42u);
+}
+
+/**
+ * Randomized equivalence vs std::map: every mutation step answers
+ * lookup/floor/size identically, and the sorted iteration matches
+ * after bursts. Keys are drawn from a smallish space so erases and
+ * same-base overwrites actually collide, and insertion order is
+ * random so chunks split at interior positions, not just the tail.
+ */
+TEST(IntervalIndex, RandomizedEquivalenceVsStdMap)
+{
+    constexpr int Ops = 200000;
+    constexpr uint64_t KeySpace = 1 << 14;
+
+    Random rng(0xBADF00D);
+    IntervalIndex idx;
+    std::map<uint64_t, Pid> model;
+
+    for (int op = 0; op < Ops; ++op) {
+        uint64_t key = rng.uniform(0, KeySpace - 1) * 16;
+        switch (rng.uniform(0, 9)) {
+          case 0: case 1: case 2: case 3: {
+            Pid pid = static_cast<Pid>(rng.uniform(1, 1u << 30));
+            idx.assign(key, pid);
+            model[key] = pid;
+            break;
+          }
+          case 4: case 5: {
+            bool had = model.erase(key) != 0;
+            ASSERT_EQ(idx.erase(key), had) << "erase at op " << op;
+            break;
+          }
+          case 6: {
+            auto it = model.find(key);
+            const Pid *got = idx.lookup(key);
+            if (it == model.end()) {
+                ASSERT_EQ(got, nullptr) << "lookup at op " << op;
+            } else {
+                ASSERT_NE(got, nullptr) << "lookup at op " << op;
+                ASSERT_EQ(*got, it->second);
+            }
+            break;
+          }
+          default: {
+            uint64_t addr =
+                key + rng.uniform(0, 31); // probe off-key too
+            uint64_t wb = 0, gb = 0;
+            Pid wp = 0, gp = 0;
+            bool want = mapFloor(model, addr, &wb, &wp);
+            bool got = idx.floor(addr, &gb, &gp);
+            ASSERT_EQ(got, want) << "floor at op " << op;
+            if (want) {
+                ASSERT_EQ(gb, wb) << "floor base at op " << op;
+                ASSERT_EQ(gp, wp) << "floor pid at op " << op;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(idx.size(), model.size());
+        if ((op & 8191) == 0)
+            expectSameForEach(idx, model);
+    }
+    expectSameForEach(idx, model);
+}
+
+} // anonymous namespace
+} // namespace chex

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * RangeSet correctness: directed edge cases for the canonical-form
+ * invariants, then a randomized equivalence run against a per-point
+ * reference model (a plain std::set of member points) over a small
+ * universe — every add/subtract interleaving must answer
+ * overlaps/covers/contains/totalLength exactly like per-point
+ * bookkeeping, and the flat representation must stay canonical
+ * (sorted, disjoint, non-adjacent, non-empty) after every mutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "base/random.hh"
+#include "base/range_set.hh"
+
+namespace chex
+{
+namespace
+{
+
+void
+expectCanonical(const RangeSet &s)
+{
+    const auto &v = s.items();
+    for (size_t i = 0; i < v.size(); ++i) {
+        ASSERT_LT(v[i].first, v[i].second) << "empty range held";
+        if (i) {
+            // Strictly after the previous range, with a gap (touching
+            // ranges must have been coalesced).
+            ASSERT_GT(v[i].first, v[i - 1].second)
+                << "ranges overlap or touch";
+        }
+    }
+}
+
+TEST(RangeSet, AddMergesOverlappingAndAdjacent)
+{
+    RangeSet s;
+    s.add(10, 20);
+    s.add(30, 40);
+    EXPECT_EQ(s.size(), 2u);
+
+    // Adjacent on the left edge: [20,30) bridges both.
+    s.add(20, 30);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_TRUE(s.covers(10, 40));
+    EXPECT_FALSE(s.contains(9));
+    EXPECT_FALSE(s.contains(40));
+    expectCanonical(s);
+
+    // Contained add is a no-op.
+    s.add(15, 25);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.totalLength(), 30u);
+
+    // Empty adds are ignored.
+    s.add(50, 50);
+    s.add(60, 55);
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(RangeSet, SubtractSplitsStraddlingRange)
+{
+    RangeSet s;
+    s.add(0, 100);
+    s.subtract(40, 60);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.covers(0, 40));
+    EXPECT_TRUE(s.covers(60, 100));
+    EXPECT_FALSE(s.overlaps(40, 60));
+    EXPECT_FALSE(s.covers(30, 70));
+    expectCanonical(s);
+
+    // Subtract across both pieces and beyond.
+    s.subtract(20, 80);
+    EXPECT_TRUE(s.covers(0, 20));
+    EXPECT_TRUE(s.covers(80, 100));
+    EXPECT_EQ(s.totalLength(), 40u);
+
+    // Subtracting everything empties the set.
+    s.subtract(0, 200);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.totalLength(), 0u);
+}
+
+TEST(RangeSet, QueriesOnEmptySet)
+{
+    RangeSet s;
+    EXPECT_FALSE(s.overlaps(0, 100));
+    EXPECT_FALSE(s.covers(0, 1));
+    EXPECT_FALSE(s.contains(0));
+    s.subtract(10, 20); // no-op, no crash
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(RangeSet, CoversIsExactOnBoundaries)
+{
+    RangeSet s;
+    s.add(8, 16);
+    EXPECT_TRUE(s.covers(8, 16));
+    EXPECT_FALSE(s.covers(7, 16));
+    EXPECT_FALSE(s.covers(8, 17));
+    EXPECT_TRUE(s.covers(15, 16));
+    EXPECT_FALSE(s.covers(16, 17));
+    // covers of an empty query range is vacuous but overlaps is not:
+    // keep the documented behaviour stable.
+    EXPECT_FALSE(s.overlaps(16, 16));
+}
+
+TEST(RangeSet, NearUint64Max)
+{
+    // The allocator poisons real address ranges; the top of the
+    // address space must not overflow the binary search.
+    RangeSet s;
+    const uint64_t top = ~0ull;
+    s.add(top - 16, top);
+    EXPECT_TRUE(s.contains(top - 1));
+    EXPECT_FALSE(s.contains(top - 17));
+    s.subtract(top - 8, top);
+    EXPECT_TRUE(s.covers(top - 16, top - 8));
+    EXPECT_FALSE(s.overlaps(top - 8, top));
+    expectCanonical(s);
+}
+
+/**
+ * Randomized equivalence vs a per-point std::set over [0, Universe).
+ * This is the same merge semantics the heap allocator's poison map
+ * relied on (std::map-based before, RangeSet now): any interleaving
+ * of poison (add) / unpoison (subtract) must answer point and range
+ * queries identically.
+ */
+TEST(RangeSet, RandomizedEquivalenceVsPointSet)
+{
+    constexpr uint64_t Universe = 1500;
+    constexpr int Ops = 20000;
+
+    Random rng(0xC0FFEE);
+    RangeSet s;
+    std::set<uint64_t> model;
+
+    for (int op = 0; op < Ops; ++op) {
+        uint64_t a = rng.uniform(0, Universe - 1);
+        uint64_t len = rng.uniform(0, 64);
+        uint64_t b = std::min(Universe, a + len);
+        switch (rng.uniform(0, 3)) {
+          case 0:
+            s.add(a, b);
+            for (uint64_t p = a; p < b; ++p)
+                model.insert(p);
+            break;
+          case 1:
+            s.subtract(a, b);
+            for (uint64_t p = a; p < b; ++p)
+                model.erase(p);
+            break;
+          case 2: {
+            // covers() of an empty query is vacuously true,
+            // overlaps() vacuously false.
+            bool any = false, all = true;
+            for (uint64_t p = a; p < b; ++p) {
+                if (model.count(p))
+                    any = true;
+                else
+                    all = false;
+            }
+            ASSERT_EQ(s.overlaps(a, b), any)
+                << "overlaps(" << a << "," << b << ") at op " << op;
+            ASSERT_EQ(s.covers(a, b), all)
+                << "covers(" << a << "," << b << ") at op " << op;
+            break;
+          }
+          default:
+            ASSERT_EQ(s.contains(a), model.count(a) != 0)
+                << "contains(" << a << ") at op " << op;
+            break;
+        }
+        if ((op & 255) == 0) {
+            expectCanonical(s);
+            ASSERT_EQ(s.totalLength(), model.size());
+        }
+    }
+    expectCanonical(s);
+    ASSERT_EQ(s.totalLength(), model.size());
+}
+
+} // anonymous namespace
+} // namespace chex

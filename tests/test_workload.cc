@@ -169,6 +169,41 @@ TEST(Workload, DifferentSeedsChangeScheduleNotShape)
     EXPECT_LT(ratio, 1.4);
 }
 
+TEST(Workload, ServerFamilyIsSeparateFromPaperSet)
+{
+    // The server family must not leak into allProfiles(): the
+    // paper's figures iterate that registry and its size is pinned
+    // above.
+    EXPECT_EQ(serverProfiles().size(), 3u);
+    for (const auto &p : serverProfiles()) {
+        EXPECT_EQ(p.dominantPattern, PatternKind::Zipf) << p.name;
+        for (const auto &q : allProfiles())
+            EXPECT_NE(p.name, q.name);
+        // By-name lookup reaches the family anyway.
+        const BenchmarkProfile *found = findProfileByName(p.name);
+        ASSERT_NE(found, nullptr) << p.name;
+        EXPECT_EQ(found->name, p.name);
+    }
+    // The family spans the scale story: lite for CI, churn at
+    // hundreds of thousands live and millions of total allocations.
+    const BenchmarkProfile &churn = profileByName("server-churn");
+    EXPECT_GE(churn.totalAllocations, 2000000u);
+    EXPECT_GE(churn.maxLiveBuffers, 200000u);
+}
+
+TEST(Workload, ServerLiteRunsCleanAndDeterministic)
+{
+    BenchmarkProfile p = profileByName("server-lite");
+    p.maxLiveBuffers = 300; // keep the unit test quick
+    p.totalAllocations = 3000;
+    RunResult a = runProfile(p, VariantKind::MicrocodePrediction);
+    EXPECT_TRUE(a.exited);
+    EXPECT_FALSE(a.violationDetected);
+    RunResult b = runProfile(p, VariantKind::MicrocodePrediction);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.uops, b.uops);
+}
+
 TEST(Workload, SmokeProgramBalancedAllocFree)
 {
     SystemConfig cfg;

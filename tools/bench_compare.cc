@@ -1,23 +1,32 @@
 /**
  * @file
- * Throughput-record comparator for CI: `bench-compare BASELINE NEW`
- * diffs two chex-bench-throughput-v1 documents (the committed
- * BENCH_throughput.json vs a fresh micro_throughput run).
+ * Perf-record comparator for CI: `bench-compare BASELINE NEW` diffs
+ * two committed benchmark documents of the same schema. Supported
+ * schemas:
+ *
+ *  - chex-bench-throughput-v1 (micro_throughput → the committed
+ *    BENCH_throughput.json): per-variant retired-work counts and
+ *    host µops/second.
+ *  - chex-bench-capscale-v1 (cap_scale → the committed
+ *    BENCH_capscale.json): per-live-target capability-table op
+ *    counts, peak shadow bytes, result checksum, and host ops/second.
  *
  * Two classes of divergence, with different severities:
  *
- *  - Simulated-work drift (macroOps/uops/cycles): FATAL. The
- *    simulator's retired-work counts are deterministic functions of
- *    (profile, scale, seed, variant); host-side optimizations must
- *    not move them. A mismatch means semantics changed — either a
- *    bug, or a deliberate model change that forgot to regenerate the
- *    committed record.
+ *  - Deterministic-output drift (macroOps/uops/cycles for
+ *    throughput; ops/totalCapabilities/liveCapabilities/
+ *    peakShadowBytes/checksum for capscale): FATAL. These are pure
+ *    functions of (schema inputs, seed, scale); host-side
+ *    optimizations must not move them. A mismatch means semantics
+ *    changed — either a bug, or a deliberate model change that
+ *    forgot to regenerate the committed record.
  *
- *  - Wall-clock regression (uopsPerSecond): WARNING only. Host
- *    throughput depends on the machine running the comparison, so a
- *    shared-runner CI cannot gate on it — but a drop past the
- *    threshold (default 25%, override with --tolerance) is loud in
- *    the log so a perf cliff does not land silently.
+ *  - Wall-clock regression (uopsPerSecond / opsPerSecond): WARNING
+ *    only. Host throughput depends on the machine running the
+ *    comparison, so a shared-runner CI cannot gate on it — but a
+ *    drop past the threshold (default 25%, override with
+ *    --tolerance) is loud in the log so a perf cliff does not land
+ *    silently.
  *
  * Exit status: 0 on match (warnings included), 1 on fatal drift or
  * unreadable/mismatched inputs.
@@ -30,6 +39,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "base/json.hh"
 
@@ -38,16 +48,12 @@ namespace
 
 using chex::json::Value;
 
-struct Row
-{
-    uint64_t macroOps = 0;
-    uint64_t uops = 0;
-    uint64_t cycles = 0;
-    double uopsPerSecond = 0.0;
-};
+double g_tolerance = 0.25;
+int g_fatal = 0;
+int g_warnings = 0;
 
 bool
-loadDoc(const char *path, Value &doc, std::map<std::string, Row> &rows)
+readDoc(const char *path, Value &doc)
 {
     std::ifstream in(path);
     if (!in) {
@@ -62,14 +68,58 @@ loadDoc(const char *path, Value &doc, std::map<std::string, Row> &rows)
                      err.c_str());
         return false;
     }
-    if (chex::json::getString(doc, "schema", "") !=
-        "chex-bench-throughput-v1") {
+    return true;
+}
+
+/**
+ * Compare one deterministic uint cell; fatal on drift. Returns true
+ * when the cell matched.
+ */
+bool
+checkUint(const std::string &row, const char *field, uint64_t b,
+          uint64_t n)
+{
+    if (b == n)
+        return true;
+    std::fprintf(stderr, "FATAL: %s: %s drifted: %llu -> %llu\n",
+                 row.c_str(), field,
+                 static_cast<unsigned long long>(b),
+                 static_cast<unsigned long long>(n));
+    ++g_fatal;
+    return false;
+}
+
+/** Warn when a wall-clock rate dropped past the tolerance. */
+void
+checkRate(const std::string &row, const char *field, double b,
+          double n)
+{
+    if (b > 0.0 && n < b * (1.0 - g_tolerance)) {
         std::fprintf(stderr,
-                     "bench-compare: %s: not a "
-                     "chex-bench-throughput-v1 document\n",
-                     path);
-        return false;
+                     "WARNING: %s: %s dropped %.0f -> %.0f "
+                     "(-%.1f%%, tolerance %.0f%%)\n",
+                     row.c_str(), field, b, n,
+                     100.0 * (1.0 - n / b), 100.0 * g_tolerance);
+        ++g_warnings;
     }
+}
+
+// ---------------------------------------------------------------
+// chex-bench-throughput-v1
+// ---------------------------------------------------------------
+
+struct ThroughputRow
+{
+    uint64_t macroOps = 0;
+    uint64_t uops = 0;
+    uint64_t cycles = 0;
+    double uopsPerSecond = 0.0;
+};
+
+bool
+loadThroughput(const char *path, const Value &doc,
+               std::map<std::string, ThroughputRow> &rows)
+{
     const Value *variants = doc.find("variants");
     if (!variants || !variants->isArray()) {
         std::fprintf(stderr, "bench-compare: %s: missing variants[]\n",
@@ -77,7 +127,7 @@ loadDoc(const char *path, Value &doc, std::map<std::string, Row> &rows)
         return false;
     }
     for (const Value &v : variants->items()) {
-        Row r;
+        ThroughputRow r;
         r.macroOps = chex::json::getUint(v, "macroOps", 0);
         r.uops = chex::json::getUint(v, "uops", 0);
         r.cycles = chex::json::getUint(v, "cycles", 0);
@@ -87,16 +137,160 @@ loadDoc(const char *path, Value &doc, std::map<std::string, Row> &rows)
     return true;
 }
 
-/** The measurement cell (profile/scale/seed) must match exactly. */
-bool
-sameCell(const Value &a, const Value &b)
+int
+compareThroughput(const char *paths[2], const Value &base_doc,
+                  const Value &new_doc)
 {
-    return chex::json::getString(a, "profile", "") ==
-               chex::json::getString(b, "profile", "") &&
-           chex::json::getUint(a, "scale", 0) ==
-               chex::json::getUint(b, "scale", 0) &&
-           chex::json::getUint(a, "seed", 0) ==
-               chex::json::getUint(b, "seed", 0);
+    // The measurement cell (profile/scale/seed) must match exactly.
+    if (chex::json::getString(base_doc, "profile", "") !=
+            chex::json::getString(new_doc, "profile", "") ||
+        chex::json::getUint(base_doc, "scale", 0) !=
+            chex::json::getUint(new_doc, "scale", 0) ||
+        chex::json::getUint(base_doc, "seed", 0) !=
+            chex::json::getUint(new_doc, "seed", 0)) {
+        std::fprintf(stderr,
+                     "bench-compare: profile/scale/seed differ — the "
+                     "records measure different cells\n");
+        return 1;
+    }
+
+    std::map<std::string, ThroughputRow> base_rows, new_rows;
+    if (!loadThroughput(paths[0], base_doc, base_rows) ||
+        !loadThroughput(paths[1], new_doc, new_rows)) {
+        return 1;
+    }
+
+    for (const auto &[name, b] : base_rows) {
+        auto it = new_rows.find(name);
+        if (it == new_rows.end()) {
+            std::fprintf(stderr,
+                         "FATAL: variant '%s' missing from %s\n",
+                         name.c_str(), paths[1]);
+            ++g_fatal;
+            continue;
+        }
+        const ThroughputRow &n = it->second;
+        checkUint(name, "macroOps", b.macroOps, n.macroOps);
+        checkUint(name, "uops", b.uops, n.uops);
+        checkUint(name, "cycles", b.cycles, n.cycles);
+        checkRate(name, "uops/s", b.uopsPerSecond, n.uopsPerSecond);
+    }
+    for (const auto &[name, r] : new_rows) {
+        (void)r;
+        if (!base_rows.count(name))
+            std::fprintf(stderr,
+                         "note: new variant '%s' not in baseline\n",
+                         name.c_str());
+    }
+
+    if (g_fatal)
+        return 1;
+    std::fprintf(stderr,
+                 "bench-compare: simulated counts match for all %zu "
+                 "variants (%d wall-clock warning(s))\n",
+                 base_rows.size(), g_warnings);
+    return 0;
+}
+
+// ---------------------------------------------------------------
+// chex-bench-capscale-v1
+// ---------------------------------------------------------------
+
+struct CapScaleRow
+{
+    uint64_t ops = 0;
+    uint64_t totalCaps = 0;
+    uint64_t liveCaps = 0;
+    uint64_t peakShadowBytes = 0;
+    uint64_t checksum = 0;
+    double opsPerSecond = 0.0;
+};
+
+bool
+loadCapScale(const char *path, const Value &doc,
+             std::map<uint64_t, CapScaleRow> &rows)
+{
+    const Value *arr = doc.find("rows");
+    if (!arr || !arr->isArray()) {
+        std::fprintf(stderr, "bench-compare: %s: missing rows[]\n",
+                     path);
+        return false;
+    }
+    for (const Value &v : arr->items()) {
+        CapScaleRow r;
+        r.ops = chex::json::getUint(v, "ops", 0);
+        r.totalCaps = chex::json::getUint(v, "totalCapabilities", 0);
+        r.liveCaps = chex::json::getUint(v, "liveCapabilities", 0);
+        r.peakShadowBytes =
+            chex::json::getUint(v, "peakShadowBytes", 0);
+        r.checksum = chex::json::getUint(v, "checksum", 0);
+        r.opsPerSecond = chex::json::getDouble(v, "opsPerSecond", 0);
+        rows[chex::json::getUint(v, "liveTarget", 0)] = r;
+    }
+    return true;
+}
+
+int
+compareCapScale(const char *paths[2], const Value &base_doc,
+                const Value &new_doc)
+{
+    // The measurement cell (seed/scale/churnOps) must match exactly.
+    if (chex::json::getUint(base_doc, "seed", 0) !=
+            chex::json::getUint(new_doc, "seed", 0) ||
+        chex::json::getUint(base_doc, "scale", 0) !=
+            chex::json::getUint(new_doc, "scale", 0) ||
+        chex::json::getUint(base_doc, "churnOps", 0) !=
+            chex::json::getUint(new_doc, "churnOps", 0)) {
+        std::fprintf(stderr,
+                     "bench-compare: seed/scale/churnOps differ — "
+                     "the records measure different cells\n");
+        return 1;
+    }
+
+    std::map<uint64_t, CapScaleRow> base_rows, new_rows;
+    if (!loadCapScale(paths[0], base_doc, base_rows) ||
+        !loadCapScale(paths[1], new_doc, new_rows)) {
+        return 1;
+    }
+
+    for (const auto &[target, b] : base_rows) {
+        auto it = new_rows.find(target);
+        if (it == new_rows.end()) {
+            std::fprintf(
+                stderr,
+                "FATAL: live target %llu missing from %s\n",
+                static_cast<unsigned long long>(target), paths[1]);
+            ++g_fatal;
+            continue;
+        }
+        const CapScaleRow &n = it->second;
+        std::string name =
+            "live=" + std::to_string(target);
+        checkUint(name, "ops", b.ops, n.ops);
+        checkUint(name, "totalCapabilities", b.totalCaps,
+                  n.totalCaps);
+        checkUint(name, "liveCapabilities", b.liveCaps, n.liveCaps);
+        checkUint(name, "peakShadowBytes", b.peakShadowBytes,
+                  n.peakShadowBytes);
+        checkUint(name, "checksum", b.checksum, n.checksum);
+        checkRate(name, "ops/s", b.opsPerSecond, n.opsPerSecond);
+    }
+    for (const auto &[target, r] : new_rows) {
+        (void)r;
+        if (!base_rows.count(target))
+            std::fprintf(
+                stderr,
+                "note: new live target %llu not in baseline\n",
+                static_cast<unsigned long long>(target));
+    }
+
+    if (g_fatal)
+        return 1;
+    std::fprintf(stderr,
+                 "bench-compare: deterministic counts match for all "
+                 "%zu live targets (%d wall-clock warning(s))\n",
+                 base_rows.size(), g_warnings);
+    return 0;
 }
 
 } // namespace
@@ -104,12 +298,11 @@ sameCell(const Value &a, const Value &b)
 int
 main(int argc, char **argv)
 {
-    double tolerance = 0.25;
     const char *paths[2] = {nullptr, nullptr};
     int npaths = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
-            tolerance = std::atof(argv[++i]);
+            g_tolerance = std::atof(argv[++i]);
         } else if (npaths < 2) {
             paths[npaths++] = argv[i];
         } else {
@@ -125,76 +318,30 @@ main(int argc, char **argv)
     }
 
     Value base_doc, new_doc;
-    std::map<std::string, Row> base_rows, new_rows;
-    if (!loadDoc(paths[0], base_doc, base_rows) ||
-        !loadDoc(paths[1], new_doc, new_rows)) {
+    if (!readDoc(paths[0], base_doc) || !readDoc(paths[1], new_doc))
         return 1;
-    }
-    if (!sameCell(base_doc, new_doc)) {
-        std::fprintf(stderr,
-                     "bench-compare: profile/scale/seed differ — the "
-                     "records measure different cells\n");
-        return 1;
-    }
 
-    int fatal = 0, warnings = 0;
-    for (const auto &[name, b] : base_rows) {
-        auto it = new_rows.find(name);
-        if (it == new_rows.end()) {
-            std::fprintf(stderr,
-                         "FATAL: variant '%s' missing from %s\n",
-                         name.c_str(), paths[1]);
-            ++fatal;
-            continue;
-        }
-        const Row &n = it->second;
-        if (n.macroOps != b.macroOps || n.uops != b.uops ||
-            n.cycles != b.cycles) {
-            std::fprintf(
-                stderr,
-                "FATAL: %s: simulated counts drifted: "
-                "macroOps %llu->%llu uops %llu->%llu "
-                "cycles %llu->%llu\n",
-                name.c_str(),
-                static_cast<unsigned long long>(b.macroOps),
-                static_cast<unsigned long long>(n.macroOps),
-                static_cast<unsigned long long>(b.uops),
-                static_cast<unsigned long long>(n.uops),
-                static_cast<unsigned long long>(b.cycles),
-                static_cast<unsigned long long>(n.cycles));
-            ++fatal;
-        }
-        if (b.uopsPerSecond > 0.0 &&
-            n.uopsPerSecond < b.uopsPerSecond * (1.0 - tolerance)) {
-            std::fprintf(stderr,
-                         "WARNING: %s: uops/s dropped %.0f -> %.0f "
-                         "(-%.1f%%, tolerance %.0f%%)\n",
-                         name.c_str(), b.uopsPerSecond,
-                         n.uopsPerSecond,
-                         100.0 * (1.0 - n.uopsPerSecond /
-                                            b.uopsPerSecond),
-                         100.0 * tolerance);
-            ++warnings;
-        }
-    }
-    for (const auto &[name, r] : new_rows) {
-        (void)r;
-        if (!base_rows.count(name))
-            std::fprintf(stderr,
-                         "note: new variant '%s' not in baseline\n",
-                         name.c_str());
-    }
-
-    if (fatal) {
+    std::string base_schema =
+        chex::json::getString(base_doc, "schema", "");
+    std::string new_schema =
+        chex::json::getString(new_doc, "schema", "");
+    if (base_schema != new_schema) {
         std::fprintf(stderr,
-                     "bench-compare: %d fatal mismatch(es) — "
-                     "simulated semantics changed\n",
-                     fatal);
+                     "bench-compare: schema mismatch: %s is '%s', "
+                     "%s is '%s'\n",
+                     paths[0], base_schema.c_str(), paths[1],
+                     new_schema.c_str());
         return 1;
     }
+    if (base_schema == "chex-bench-throughput-v1")
+        return compareThroughput(paths, base_doc, new_doc);
+    if (base_schema == "chex-bench-capscale-v1")
+        return compareCapScale(paths, base_doc, new_doc);
+
     std::fprintf(stderr,
-                 "bench-compare: simulated counts match for all %zu "
-                 "variants (%d wall-clock warning(s))\n",
-                 base_rows.size(), warnings);
-    return 0;
+                 "bench-compare: unsupported schema '%s' (expected "
+                 "chex-bench-throughput-v1 or "
+                 "chex-bench-capscale-v1)\n",
+                 base_schema.c_str());
+    return 1;
 }

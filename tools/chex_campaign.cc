@@ -120,6 +120,8 @@ listChoices()
     for (const BenchmarkProfile &p : allProfiles())
         std::printf("  %-12s (%s)\n", p.name.c_str(),
                     p.isParsec ? "PARSEC" : "SPEC");
+    for (const BenchmarkProfile &p : serverProfiles())
+        std::printf("  %-12s (server)\n", p.name.c_str());
     std::printf("variants:\n");
     for (const auto &[token, kind] : variantTokens())
         std::printf("  %-12s = %s\n", token.c_str(),
@@ -127,8 +129,8 @@ listChoices()
 }
 
 /**
- * Resolve a --profiles argument ('spec'/'parsec'/'all' or a
- * comma-separated name list) into --scale-adjusted profiles.
+ * Resolve a --profiles argument ('spec'/'parsec'/'all'/'server' or
+ * a comma-separated name list) into --scale-adjusted profiles.
  * Shared by run and snapshot so both subcommands see the identical
  * job points — a prerequisite for their spec hashes to line up.
  */
@@ -142,6 +144,8 @@ resolveProfiles(const char *ctx, const std::string &arg,
         *out = parsecProfiles();
     } else if (arg == "all") {
         *out = allProfiles();
+    } else if (arg == "server") {
+        *out = serverProfiles();
     } else {
         for (const std::string &name : splitCommas(arg)) {
             const BenchmarkProfile *p = findProfileByName(name);
@@ -250,7 +254,7 @@ runMain(const char *argv0, int argc, char **argv, int begin,
         "(chex-campaign-report-v5).");
     parser.add("--profiles", "LIST",
                "comma-separated profile names, or one of\n"
-               "'spec', 'parsec', 'all' (default: spec)",
+               "'spec', 'parsec', 'all', 'server' (default: spec)",
                [&](const std::string &v) {
                    profiles_arg = v;
                    return true;
@@ -530,7 +534,7 @@ snapshotMain(const char *argv0, int argc, char **argv, int begin)
         "are keyed by the driver's canonical spec hash.");
     parser.add("--profiles", "LIST",
                "comma-separated profile names, or one of\n"
-               "'spec', 'parsec', 'all' (default: spec)",
+               "'spec', 'parsec', 'all', 'server' (default: spec)",
                [&](const std::string &v) {
                    profiles_arg = v;
                    return true;
