@@ -15,13 +15,29 @@ AliasTable::AliasTable()
 AliasTable::~AliasTable()
 {
     freeSubtree(root, 0);
+    for (Node *node : pool)
+        delete node;
 }
 
 AliasTable::Node *
 AliasTable::allocNode()
 {
     ++_nodeCount;
+    if (!pool.empty()) {
+        Node *node = pool.back();
+        pool.pop_back();
+        node->slots.fill(0);
+        node->liveSlots = 0;
+        return node;
+    }
     return new Node();
+}
+
+void
+AliasTable::releaseNode(Node *node)
+{
+    --_nodeCount;
+    pool.push_back(node);
 }
 
 void
@@ -32,8 +48,7 @@ AliasTable::freeSubtree(Node *node, unsigned level)
             if (slot)
                 freeSubtree(reinterpret_cast<Node *>(slot), level + 1);
     }
-    delete node;
-    --_nodeCount;
+    releaseNode(node);
 }
 
 unsigned
@@ -50,32 +65,54 @@ AliasTable::set(uint64_t addr, uint32_t pid)
 {
     addr &= ~7ull;
     // Any mutation can change a memoized walk result — including
-    // interior-node allocation, which deepens walks for *other*
-    // words sharing the path — so drop the memo up front.
+    // interior-node allocation or reclamation, which changes walk
+    // depth for *other* words sharing the path — so drop the memo up
+    // front.
     lastLookupWord = ~0ull;
+    Node *path[Levels];
+    unsigned indices[Levels];
     Node *node = root;
     for (unsigned level = 0; level + 1 < Levels; ++level) {
-        uint64_t &slot = node->slots[levelIndex(addr, level)];
+        path[level] = node;
+        indices[level] = levelIndex(addr, level);
+        uint64_t &slot = node->slots[indices[level]];
         if (!slot) {
             if (pid == 0)
                 return; // nothing to erase
             slot = reinterpret_cast<uint64_t>(allocNode());
+            ++node->liveSlots;
         }
         node = reinterpret_cast<Node *>(slot);
     }
-    uint64_t &leaf = node->slots[levelIndex(addr, Levels - 1)];
+    path[Levels - 1] = node;
+    indices[Levels - 1] = levelIndex(addr, Levels - 1);
+    uint64_t &leaf = node->slots[indices[Levels - 1]];
     uint64_t page = addr / 4096;
     auto was = static_cast<uint32_t>(leaf);
     if (was == pid)
         return;
     if (was == 0 && pid != 0) {
         ++_liveEntries;
+        ++node->liveSlots;
         aliasPages.increment(page);
     } else if (was != 0 && pid == 0) {
         --_liveEntries;
+        --node->liveSlots;
         aliasPages.decrement(page);
     }
     leaf = pid;
+    if (pid != 0)
+        return;
+    // Reclaim the emptied tail of the path: a leaf whose last entry
+    // was erased goes back to the pool, and the cascade walks up
+    // through interior nodes emptied by that release. The root is
+    // never released.
+    for (unsigned level = Levels - 1;
+         level > 0 && path[level]->liveSlots == 0; --level) {
+        releaseNode(path[level]);
+        path[level - 1]->slots[indices[level - 1]] = 0;
+        --path[level - 1]->liveSlots;
+    }
 }
 
 AliasWalkResult
@@ -137,7 +174,9 @@ namespace
 
 /**
  * One node as a sorted [slot, payload] pair list; the payload is a
- * child node (interior levels) or the stored PID (leaf level).
+ * child node (interior levels) or the stored PID (leaf level). The
+ * node's slot array is its first member, so the stored child pointer
+ * doubles as a pointer to the child's array.
  */
 json::Value
 saveNode(const std::array<uint64_t, 512> &slots, unsigned level,
@@ -198,15 +237,38 @@ AliasTable::restoreNode(Node *node, const json::Value &v, unsigned level)
         uint64_t idx = pair.at(size_t(0)).asUint64();
         if (idx >= Fanout)
             return false;
+        if (node->slots[idx]) {
+            // Duplicate slot index: overwriting would orphan the
+            // child already hanging here (the pre-reclamation code
+            // leaked it and died on the clear() leak assert later).
+            return false;
+        }
         if (level + 1 < Levels) {
             Node *child = allocNode();
             node->slots[idx] = reinterpret_cast<uint64_t>(child);
+            ++node->liveSlots;
             if (!restoreNode(child, pair.at(size_t(1)), level + 1))
                 return false;
+            if (child->liveSlots == 0) {
+                // Dead subtree: pre-reclamation snapshots serialized
+                // interior nodes that no longer host any entry.
+                // Prune instead of resurrecting them — the restored
+                // table obeys the reclamation invariant.
+                releaseNode(child);
+                node->slots[idx] = 0;
+                --node->liveSlots;
+            }
         } else {
             if (!pair.at(size_t(1)).isNumber())
                 return false;
-            node->slots[idx] = pair.at(size_t(1)).asUint64();
+            uint64_t payload = pair.at(size_t(1)).asUint64();
+            // Leaf payloads are PIDs: nonzero (zero slots are never
+            // serialized) and 32-bit. A wider payload would be
+            // silently truncated by get().
+            if (payload == 0 || payload > 0xffffffffull)
+                return false;
+            node->slots[idx] = payload;
+            ++node->liveSlots;
         }
     }
     return true;
@@ -222,11 +284,21 @@ AliasTable::restoreState(const json::Value &v)
     if (!tree || !pages || !pages->isArray())
         return false;
     clear();
-    if (!restoreNode(root, *tree, 0))
+    if (!restoreNode(root, *tree, 0)) {
+        // Free the partially restored tree: every allocated node is
+        // still reachable (duplicate indices are rejected before
+        // overwriting), so clear() reclaims them all and the table
+        // stays usable.
+        clear();
         return false;
+    }
     for (const json::Value &pair : pages->items()) {
-        if (!pair.isArray() || pair.size() != 2)
+        if (!pair.isArray() || pair.size() != 2 ||
+            !pair.at(size_t(0)).isNumber() ||
+            !pair.at(size_t(1)).isNumber()) {
+            clear();
             return false;
+        }
         aliasPages.setCount(
             pair.at(size_t(0)).asUint64(),
             static_cast<uint32_t>(pair.at(size_t(1)).asUint64()));

@@ -8,6 +8,14 @@
  * granular "alias-hosting" filter (the paper's TLB / page-table
  * metadata bit) short-circuits lookups for pages that hold no
  * aliases at all.
+ *
+ * Built for sustained million-word spill/overwrite churn: every node
+ * carries a live-slot counter, so erasing the last entry of a leaf
+ * (set(addr, 0)) releases the leaf — and any interior nodes emptied
+ * by the cascade — into a pooled free list instead of retaining them
+ * forever. Node count is therefore a pure function of the live entry
+ * set, and storageBytes() reports exactly the nodes a hardware table
+ * would keep mapped (DESIGN §11).
  */
 
 #ifndef CHEX_MEM_ALIAS_TABLE_HH
@@ -38,7 +46,13 @@ struct AliasWalkResult
  *
  * Linear probing over a power-of-two slot array. Decrementing a
  * count to zero leaves the slot in place as a tombstone (so probe
- * chains stay intact); tombstones are dropped when the table grows.
+ * chains stay intact), but tombstones no longer linger until the
+ * next grow: once half the occupied slots are dead the table
+ * rehashes in place, dropping every tombstone and shrinking the
+ * slot array when the live set no longer justifies its capacity —
+ * page-churn workloads (a service mapping and unmapping request
+ * arenas) keep probe chains short instead of degrading toward a
+ * linear scan.
  */
 class AliasPageCounts
 {
@@ -59,7 +73,7 @@ class AliasPageCounts
         size_t idx = findIndex(page);
         if (!slots[idx].used) {
             if ((usedSlots + 1) * 2 > slots.size()) {
-                grow();
+                rehash();
                 idx = findIndex(page);
                 if (slots[idx].used) { // page survived the rehash
                     ++slots[idx].count;
@@ -70,6 +84,8 @@ class AliasPageCounts
             slots[idx].page = page;
             slots[idx].count = 0;
             ++usedSlots;
+        } else if (slots[idx].count == 0) {
+            --tombstoneSlots; // a dead page comes back to life
         }
         ++slots[idx].count;
     }
@@ -78,8 +94,12 @@ class AliasPageCounts
     decrement(uint64_t page)
     {
         Slot &s = slots[findIndex(page)];
-        if (s.used && s.count != 0)
-            --s.count;
+        if (!s.used || s.count == 0)
+            return;
+        if (--s.count == 0) {
+            ++tombstoneSlots;
+            maybePurge();
+        }
     }
 
     void
@@ -87,16 +107,24 @@ class AliasPageCounts
     {
         slots.assign(InitialCap, Slot{});
         usedSlots = 0;
+        tombstoneSlots = 0;
     }
 
-    /** Set an exact count (snapshot restore). */
+    /**
+     * Set an exact count (snapshot restore). A zero count for a
+     * never-seen page is a no-op: inserting it would plant a used
+     * tombstone slot that eats probe-chain and rehash budget for a
+     * page the table has no reason to know about.
+     */
     void
     setCount(uint64_t page, uint32_t count)
     {
         size_t idx = findIndex(page);
         if (!slots[idx].used) {
+            if (count == 0)
+                return;
             if ((usedSlots + 1) * 2 > slots.size()) {
-                grow();
+                rehash();
                 idx = findIndex(page);
             }
             if (!slots[idx].used) {
@@ -104,6 +132,10 @@ class AliasPageCounts
                 slots[idx].page = page;
                 ++usedSlots;
             }
+        } else if (slots[idx].count == 0 && count != 0) {
+            --tombstoneSlots;
+        } else if (slots[idx].count != 0 && count == 0) {
+            ++tombstoneSlots;
         }
         slots[idx].count = count;
     }
@@ -129,6 +161,12 @@ class AliasPageCounts
                 fn(s.page, s.count);
     }
 
+    /** @{ @name Occupancy introspection (tests, accounting) */
+    size_t capacity() const { return slots.size(); }
+    size_t usedSlotCount() const { return usedSlots; }
+    size_t tombstoneCount() const { return tombstoneSlots; }
+    /** @} */
+
   private:
     struct Slot
     {
@@ -138,6 +176,8 @@ class AliasPageCounts
     };
 
     static constexpr size_t InitialCap = 64; // power of two
+    /** Tombstone purges only fire past this many dead slots. */
+    static constexpr size_t PurgeFloor = 32;
 
     size_t
     findIndex(uint64_t page) const
@@ -151,23 +191,45 @@ class AliasPageCounts
         return idx;
     }
 
+    /**
+     * Rebuild at a capacity sized for the *live* slot count —
+     * tombstones die here, and a table whose live set shrank far
+     * below its high-water mark shrinks back (never below
+     * InitialCap). Serves as both grow (live load at 50% forces a
+     * doubling) and purge/shrink.
+     */
     void
-    grow()
+    rehash()
     {
+        size_t live = usedSlots - tombstoneSlots;
+        size_t cap = InitialCap;
+        while ((live + 1) * 2 > cap)
+            cap *= 2;
         std::vector<Slot> old = std::move(slots);
-        slots.assign(old.size() * 2, Slot{});
+        slots.assign(cap, Slot{});
         usedSlots = 0;
+        tombstoneSlots = 0;
         for (const Slot &s : old) {
             if (!s.used || s.count == 0)
-                continue; // tombstones die here
+                continue;
             size_t idx = findIndex(s.page);
             slots[idx] = s;
             ++usedSlots;
         }
     }
 
+    void
+    maybePurge()
+    {
+        if (tombstoneSlots >= PurgeFloor &&
+            tombstoneSlots * 2 >= usedSlots) {
+            rehash();
+        }
+    }
+
     std::vector<Slot> slots;
-    size_t usedSlots = 0; // occupied slots, including tombstones
+    size_t usedSlots = 0;      // occupied slots, including tombstones
+    size_t tombstoneSlots = 0; // occupied slots with count == 0
 };
 
 /** 5-level radix shadow table: VA[47:3] -> PID. */
@@ -180,6 +242,8 @@ class AliasTable
     /**
      * Record that the word at @p addr holds a spilled pointer with
      * identifier @p pid (0 erases). @p addr is word-aligned down.
+     * Erasing the last entry of a leaf reclaims the leaf — and any
+     * interior nodes the cascade empties — into the node pool.
      */
     void set(uint64_t addr, uint32_t pid);
 
@@ -203,18 +267,44 @@ class AliasTable
     /** Number of live (nonzero) alias entries. */
     uint64_t liveEntries() const { return _liveEntries; }
 
-    /** Shadow storage consumed: allocated nodes x 4 KiB each. */
+    /**
+     * Modelled shadow storage: nodes currently reachable in the
+     * tree x 4 KiB each. Honest under churn — reclaimed nodes are
+     * not counted (they sit in the host-side pool; see
+     * retainedBytes()). Every non-root node holds at least one
+     * nonzero slot, so this is a pure function of the live set.
+     */
     uint64_t storageBytes() const { return _nodeCount * NodeBytes; }
 
-    /** Remove every entry. */
+    /**
+     * Host-side footprint: live nodes plus pool-retained nodes kept
+     * for recycling. retainedBytes() - storageBytes() is the
+     * reclaimed-but-not-released slack.
+     */
+    uint64_t
+    retainedBytes() const
+    {
+        return (_nodeCount + pool.size()) * NodeBytes;
+    }
+
+    /** Nodes currently reachable in the tree (including the root). */
+    uint64_t liveNodes() const { return _nodeCount; }
+
+    /** Reclaimed nodes parked in the free-list pool. */
+    uint64_t pooledNodes() const { return pool.size(); }
+
+    /** Remove every entry; nodes are retained in the pool. */
     void clear();
 
     /** @{ @name Snapshot serialization (chex-snapshot-v1)
-     * Serializes the radix-tree STRUCTURE, not just the live
-     * entries: set(addr, 0) never frees interior nodes, so the node
-     * count — and through it storageBytes()/shadow-memory stats —
-     * depends on allocation history that a rebuild from live
-     * entries would lose. */
+     * Serializes the radix tree in the original structural format.
+     * Since reclamation made the structure a pure function of the
+     * live entries, the document no longer carries information a
+     * live-entry rebuild would lose — the format is kept for
+     * byte-compatibility with existing fixtures. Restore prunes the
+     * dead subtrees that pre-reclamation snapshots may contain, and
+     * rejects malformed documents (duplicate slot indices, leaf
+     * payloads that don't fit a PID) without leaking nodes. */
     json::Value saveState() const;
     bool restoreState(const json::Value &v);
     /** @} */
@@ -229,8 +319,11 @@ class AliasTable
     struct Node
     {
         // Interior levels hold child pointers; the leaf level holds
-        // PIDs in the same storage (as integers).
+        // PIDs in the same storage (as integers). liveSlots counts
+        // nonzero slots — host-side bookkeeping driving reclamation,
+        // not part of the modelled 4 KiB node.
         std::array<uint64_t, Fanout> slots{};
+        uint32_t liveSlots = 0;
     };
 
     static unsigned levelIndex(uint64_t addr, unsigned level);
@@ -239,9 +332,10 @@ class AliasTable
     AliasWalkResult lookup(uint64_t word_addr) const;
 
     Node *root;
-    uint64_t _nodeCount = 0;
+    uint64_t _nodeCount = 0;  // nodes reachable in the tree
     uint64_t _liveEntries = 0;
     AliasPageCounts aliasPages; // page -> live alias count
+    std::vector<Node *> pool;   // reclaimed nodes awaiting reuse
 
     // One-entry memo over lookup(): alias-cache misses walk the same
     // word the subsequent get()/re-walk touches, and loads frequently
@@ -251,6 +345,7 @@ class AliasTable
     mutable AliasWalkResult lastLookup;
 
     Node *allocNode();
+    void releaseNode(Node *node);
     void freeSubtree(Node *node, unsigned level);
     bool restoreNode(Node *node, const json::Value &v, unsigned level);
 };

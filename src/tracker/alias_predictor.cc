@@ -222,24 +222,35 @@ AliasPredictor::restoreState(const json::Value &v)
     clear();
     for (const json::Value &je : jtable->items()) {
         uint64_t slot = json::getUint(je, "slot", UINT64_MAX);
-        if (slot >= table.size())
+        uint64_t confidence = json::getUint(je, "confidence", 0);
+        // A confidence past the saturating maximum or a slot already
+        // restored cannot have come from saveState(); accepting
+        // either would bake impossible predictor state (counters the
+        // training logic can never reach, last-writer-wins entries)
+        // into the restored machine.
+        if (slot >= table.size() || confidence > cfg.confidenceMax ||
+            table[slot].valid) {
+            clear();
             return false;
+        }
         Entry &e = table[slot];
         e.tag = json::getUint(je, "tag", 0);
         e.lastPid = static_cast<Pid>(json::getUint(je, "lastPid", 0));
         e.stride = static_cast<int64_t>(json::getUint(je, "stride", 0));
-        e.confidence =
-            static_cast<uint8_t>(json::getUint(je, "confidence", 0));
+        e.confidence = static_cast<uint8_t>(confidence);
         e.valid = true;
     }
     for (const json::Value &je : jbl->items()) {
         uint64_t slot = json::getUint(je, "slot", UINT64_MAX);
-        if (slot >= blacklist.size())
+        uint64_t confidence = json::getUint(je, "confidence", 0);
+        if (slot >= blacklist.size() ||
+            confidence > cfg.confidenceMax || blacklist[slot].valid) {
+            clear();
             return false;
+        }
         BlacklistEntry &e = blacklist[slot];
         e.tag = json::getUint(je, "tag", 0);
-        e.confidence =
-            static_cast<uint8_t>(json::getUint(je, "confidence", 0));
+        e.confidence = static_cast<uint8_t>(confidence);
         e.valid = true;
     }
     numPredictions = json::getUint(v, "numPredictions", 0);

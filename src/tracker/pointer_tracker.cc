@@ -163,12 +163,23 @@ SpeculativePointerTracker::invalidateAlias(uint64_t addr)
 void
 SpeculativePointerTracker::clearAliasRange(uint64_t addr, uint64_t len)
 {
+    if (len == 0)
+        return;
     uint64_t first = addr & ~7ull;
-    for (uint64_t a = first; a < addr + len; a += 8) {
+    // addr + len can wrap past the top of the address space, which
+    // would make a naive `a < addr + len` bound silently clear
+    // nothing. Saturate the exclusive end, then iterate over word
+    // addresses with an inclusive last-word bound so the increment
+    // itself cannot wrap either.
+    uint64_t end = len > ~addr ? ~0ull : addr + len;
+    uint64_t last = (end - 1) & ~7ull;
+    for (uint64_t a = first;; a += 8) {
         if (aliases.pageHostsAliases(a) && aliases.get(a) != NoPid) {
             aliases.set(a, NoPid);
             cache.invalidate(a >> 6);
         }
+        if (a == last)
+            break;
     }
 }
 

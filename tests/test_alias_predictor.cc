@@ -184,5 +184,104 @@ TEST(AliasPredictor, ClearResetsState)
     EXPECT_FALSE(pred.predict(0x1000).isReload);
 }
 
+TEST(AliasPredictor, SaveRestoreRoundTrip)
+{
+    AliasPredictor pred;
+    trainSequence(pred, 0x400100, std::vector<Pid>(32, 9));
+    for (int i = 0; i < 8; ++i) {
+        AliasPrediction p = pred.predict(0x400200);
+        pred.update(0x400200, p, NoPid); // blacklist entry too
+    }
+    json::Value doc = pred.saveState();
+    AliasPredictor restored;
+    ASSERT_TRUE(restored.restoreState(doc));
+    EXPECT_EQ(restored.saveState().dump(0), doc.dump(0));
+    EXPECT_EQ(restored.predict(0x400100).pid, 9u);
+    EXPECT_FALSE(restored.predict(0x400200).isReload);
+}
+
+/**
+ * Build a one-entry predictor snapshot whose table entry carries the
+ * given confidence, then let @p mutate poke the document further.
+ */
+json::Value
+predictorDocWithConfidence(uint64_t confidence)
+{
+    AliasPredictor pred;
+    trainSequence(pred, 0x400100, std::vector<Pid>(32, 9));
+    json::Value doc = pred.saveState();
+    const json::Value *table = doc.find("table");
+    json::Value entry = table->at(size_t{0});
+    entry.set("confidence", confidence);
+    json::Value replaced = json::Value::array();
+    replaced.push(std::move(entry));
+    doc.set("table", std::move(replaced));
+    return doc;
+}
+
+TEST(AliasPredictor, RestoreRejectsOverflowedConfidence)
+{
+    // Regression: restoreState accepted confidence counters past the
+    // saturating maximum — state the training logic can never reach,
+    // which the stride predictor would then take many extra
+    // mispredictions to age out.
+    AliasPredictorConfig cfg;
+    AliasPredictor pred;
+    EXPECT_TRUE(pred.restoreState(
+        predictorDocWithConfidence(cfg.confidenceMax)));
+    EXPECT_FALSE(pred.restoreState(
+        predictorDocWithConfidence(cfg.confidenceMax + 1)));
+    // The failed restore leaves a cleared, usable predictor.
+    EXPECT_EQ(pred.predictions(), 0u);
+    EXPECT_FALSE(pred.predict(0x400100).isReload);
+}
+
+TEST(AliasPredictor, RestoreRejectsDuplicateSlots)
+{
+    // Regression: a document repeating a slot index restored
+    // last-writer-wins instead of being rejected as malformed.
+    AliasPredictor pred;
+    trainSequence(pred, 0x400100, std::vector<Pid>(32, 9));
+    json::Value doc = pred.saveState();
+    const json::Value *table = doc.find("table");
+    json::Value first = table->at(size_t{0});
+    json::Value dup = json::Value::array();
+    dup.push(first);
+    dup.push(std::move(first));
+    doc.set("table", std::move(dup));
+    EXPECT_FALSE(pred.restoreState(doc));
+}
+
+TEST(AliasPredictor, RestoreRejectsBadBlacklistEntries)
+{
+    AliasPredictorConfig cfg;
+    AliasPredictor pred;
+    for (int i = 0; i < 8; ++i) {
+        AliasPrediction p = pred.predict(0x400200);
+        pred.update(0x400200, p, NoPid);
+    }
+    json::Value good = pred.saveState();
+
+    json::Value overflowed = good;
+    const json::Value *bl = overflowed.find("blacklist");
+    json::Value entry = bl->at(size_t{0});
+    entry.set("confidence", uint64_t{cfg.confidenceMax} + 1);
+    json::Value one = json::Value::array();
+    one.push(std::move(entry));
+    overflowed.set("blacklist", std::move(one));
+    EXPECT_FALSE(pred.restoreState(overflowed));
+
+    json::Value duplicated = good;
+    bl = duplicated.find("blacklist");
+    json::Value first = bl->at(size_t{0});
+    json::Value two = json::Value::array();
+    two.push(first);
+    two.push(std::move(first));
+    duplicated.set("blacklist", std::move(two));
+    EXPECT_FALSE(pred.restoreState(duplicated));
+
+    EXPECT_TRUE(pred.restoreState(good));
+}
+
 } // namespace
 } // namespace chex

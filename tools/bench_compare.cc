@@ -10,12 +10,18 @@
  *  - chex-bench-capscale-v1 (cap_scale → the committed
  *    BENCH_capscale.json): per-live-target capability-table op
  *    counts, peak shadow bytes, result checksum, and host ops/second.
+ *  - chex-bench-aliasscale-v1 (alias_scale → the committed
+ *    BENCH_aliasscale.json): per-live-target alias-table op counts,
+ *    live entries, node counts, peak/end shadow bytes, result
+ *    checksum, and host ops/second.
  *
  * Two classes of divergence, with different severities:
  *
  *  - Deterministic-output drift (macroOps/uops/cycles for
  *    throughput; ops/totalCapabilities/liveCapabilities/
- *    peakShadowBytes/checksum for capscale): FATAL. These are pure
+ *    peakShadowBytes/checksum for capscale; ops/liveEntries/
+ *    liveNodes/peakShadowBytes/endShadowBytes/checksum for
+ *    aliasscale): FATAL. These are pure
  *    functions of (schema inputs, seed, scale); host-side
  *    optimizations must not move them. A mismatch means semantics
  *    changed — either a bug, or a deliberate model change that
@@ -293,6 +299,110 @@ compareCapScale(const char *paths[2], const Value &base_doc,
     return 0;
 }
 
+// ---------------------------------------------------------------
+// chex-bench-aliasscale-v1
+// ---------------------------------------------------------------
+
+struct AliasScaleRow
+{
+    uint64_t ops = 0;
+    uint64_t liveEntries = 0;
+    uint64_t peakShadowBytes = 0;
+    uint64_t endShadowBytes = 0;
+    uint64_t liveNodes = 0;
+    uint64_t checksum = 0;
+    double opsPerSecond = 0.0;
+};
+
+bool
+loadAliasScale(const char *path, const Value &doc,
+               std::map<uint64_t, AliasScaleRow> &rows)
+{
+    const Value *arr = doc.find("rows");
+    if (!arr || !arr->isArray()) {
+        std::fprintf(stderr, "bench-compare: %s: missing rows[]\n",
+                     path);
+        return false;
+    }
+    for (const Value &v : arr->items()) {
+        AliasScaleRow r;
+        r.ops = chex::json::getUint(v, "ops", 0);
+        r.liveEntries = chex::json::getUint(v, "liveEntries", 0);
+        r.peakShadowBytes =
+            chex::json::getUint(v, "peakShadowBytes", 0);
+        r.endShadowBytes =
+            chex::json::getUint(v, "endShadowBytes", 0);
+        r.liveNodes = chex::json::getUint(v, "liveNodes", 0);
+        r.checksum = chex::json::getUint(v, "checksum", 0);
+        r.opsPerSecond = chex::json::getDouble(v, "opsPerSecond", 0);
+        rows[chex::json::getUint(v, "liveTarget", 0)] = r;
+    }
+    return true;
+}
+
+int
+compareAliasScale(const char *paths[2], const Value &base_doc,
+                  const Value &new_doc)
+{
+    // The measurement cell (seed/scale/churnOps) must match exactly.
+    if (chex::json::getUint(base_doc, "seed", 0) !=
+            chex::json::getUint(new_doc, "seed", 0) ||
+        chex::json::getUint(base_doc, "scale", 0) !=
+            chex::json::getUint(new_doc, "scale", 0) ||
+        chex::json::getUint(base_doc, "churnOps", 0) !=
+            chex::json::getUint(new_doc, "churnOps", 0)) {
+        std::fprintf(stderr,
+                     "bench-compare: seed/scale/churnOps differ — "
+                     "the records measure different cells\n");
+        return 1;
+    }
+
+    std::map<uint64_t, AliasScaleRow> base_rows, new_rows;
+    if (!loadAliasScale(paths[0], base_doc, base_rows) ||
+        !loadAliasScale(paths[1], new_doc, new_rows)) {
+        return 1;
+    }
+
+    for (const auto &[target, b] : base_rows) {
+        auto it = new_rows.find(target);
+        if (it == new_rows.end()) {
+            std::fprintf(
+                stderr,
+                "FATAL: live target %llu missing from %s\n",
+                static_cast<unsigned long long>(target), paths[1]);
+            ++g_fatal;
+            continue;
+        }
+        const AliasScaleRow &n = it->second;
+        std::string name = "live=" + std::to_string(target);
+        checkUint(name, "ops", b.ops, n.ops);
+        checkUint(name, "liveEntries", b.liveEntries, n.liveEntries);
+        checkUint(name, "peakShadowBytes", b.peakShadowBytes,
+                  n.peakShadowBytes);
+        checkUint(name, "endShadowBytes", b.endShadowBytes,
+                  n.endShadowBytes);
+        checkUint(name, "liveNodes", b.liveNodes, n.liveNodes);
+        checkUint(name, "checksum", b.checksum, n.checksum);
+        checkRate(name, "ops/s", b.opsPerSecond, n.opsPerSecond);
+    }
+    for (const auto &[target, r] : new_rows) {
+        (void)r;
+        if (!base_rows.count(target))
+            std::fprintf(
+                stderr,
+                "note: new live target %llu not in baseline\n",
+                static_cast<unsigned long long>(target));
+    }
+
+    if (g_fatal)
+        return 1;
+    std::fprintf(stderr,
+                 "bench-compare: deterministic counts match for all "
+                 "%zu live targets (%d wall-clock warning(s))\n",
+                 base_rows.size(), g_warnings);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -337,11 +447,13 @@ main(int argc, char **argv)
         return compareThroughput(paths, base_doc, new_doc);
     if (base_schema == "chex-bench-capscale-v1")
         return compareCapScale(paths, base_doc, new_doc);
+    if (base_schema == "chex-bench-aliasscale-v1")
+        return compareAliasScale(paths, base_doc, new_doc);
 
     std::fprintf(stderr,
                  "bench-compare: unsupported schema '%s' (expected "
-                 "chex-bench-throughput-v1 or "
-                 "chex-bench-capscale-v1)\n",
+                 "chex-bench-throughput-v1, chex-bench-capscale-v1, "
+                 "or chex-bench-aliasscale-v1)\n",
                  base_schema.c_str());
     return 1;
 }
