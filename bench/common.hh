@@ -186,8 +186,16 @@ runCampaignJobs(std::vector<driver::JobSpec> jobs, uint64_t seed)
     results.reserve(report.jobs.size());
     size_t bad = 0;
     for (const driver::JobResult &jr : report.jobs) {
+        // Attack jobs (JobSpec::attack) are *supposed* to end in a
+        // detected violation (enforcement variants) or a hijack
+        // (baseline): both are valid measurements, not broken cells.
+        bool attack_outcome =
+            jr.index < jobs.size() && !jobs[jr.index].attack.empty() &&
+            (jr.run.violationDetected || jr.run.hijackedControlFlow);
         if (jr.skipped) {
             // Out-of-shard placeholder, not a failure.
+        } else if (!jr.failed && attack_outcome) {
+            // A concluded exploit measurement.
         } else if (jr.failed || !jr.run.exited) {
             std::fprintf(stderr,
                          "bench: %s did not complete cleanly%s%s\n",

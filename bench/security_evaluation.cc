@@ -7,14 +7,18 @@
  * exploits were thwarted and the breakdown by anchor violation
  * class; also verifies against the insecure baseline that the
  * exploits are real (their corruption indicator fires).
+ *
+ * The cases come from the central attack registry (one stable ID
+ * per case) and run as attack jobs on the campaign driver's worker
+ * pool, so the usual bench env knobs (CHEX_BENCH_JOBS/ISOLATE/
+ * TIMEOUT/CACHE/SHARD) apply to the security table like any other
+ * figure harness.
  */
 
 #include <iostream>
 #include <map>
 
-#include "attacks/asan_suite.hh"
-#include "attacks/how2heap.hh"
-#include "attacks/ripe.hh"
+#include "attacks/registry.hh"
 #include "base/table.hh"
 #include "common.hh"
 
@@ -33,51 +37,6 @@ struct SuiteSummary
     std::map<Violation, unsigned> byClass;
 };
 
-SuiteSummary
-evaluate(const std::vector<AttackCase> &cases)
-{
-    SuiteSummary s;
-    for (const AttackCase &attack : cases) {
-        ++s.total;
-        SystemConfig cfg;
-        cfg.variant.kind = VariantKind::MicrocodePrediction;
-        System sys(cfg);
-        sys.load(attack.program);
-        RunResult r = sys.run();
-        if (r.violationDetected) {
-            ++s.detected;
-            ++s.byClass[r.violations[0].kind];
-            if (r.violations[0].kind == attack.expected)
-                ++s.expectedAnchor;
-        }
-
-        if (attack.indicatorAddr != 0) {
-            ++s.baselineChecked;
-            SystemConfig bcfg;
-            bcfg.variant.kind = VariantKind::Baseline;
-            System bsys(bcfg);
-            bsys.load(attack.program);
-            bsys.run();
-            if (bsys.memory().read(attack.indicatorAddr, 8) ==
-                attack.indicatorExpect)
-                ++s.baselineSucceeded;
-        }
-    }
-    return s;
-}
-
-std::string
-classBreakdown(const SuiteSummary &s)
-{
-    std::string out;
-    for (const auto &[v, n] : s.byClass) {
-        if (!out.empty())
-            out += ", ";
-        out += std::to_string(n) + " " + violationName(v);
-    }
-    return out;
-}
-
 } // namespace
 
 int
@@ -86,29 +45,94 @@ main()
     std::printf("Security Evaluation (Section VII-A): CHEx86 "
                 "prediction-driven variant vs the exploit suites\n\n");
 
-    struct Row
-    {
-        const char *name;
-        std::vector<AttackCase> cases;
-    };
-    Row rows[] = {
-        {"RIPE-style sweep", ripeSweep()},
-        {"ASan test suite", asanSuite()},
-        {"How2Heap", how2heapSuite()},
-    };
+    const uint64_t seed = 1;
+
+    // One detection job per case, plus one baseline-validation job
+    // for every case that carries a corruption indicator. Flat across
+    // all suites so the worker pool stays full.
+    std::vector<driver::JobSpec> jobs;
+    for (const AttackSuite &suite : attackSuites()) {
+        for (const AttackCase &attack : suite.cases) {
+            std::string id = attackCaseId(attack);
+            driver::JobSpec det;
+            det.label = id + "/" +
+                        variantName(VariantKind::MicrocodePrediction);
+            det.attack = id;
+            det.profile = attackProfile();
+            det.config.variant.kind =
+                VariantKind::MicrocodePrediction;
+            det.workloadSeed = seed;
+            jobs.push_back(std::move(det));
+
+            if (attack.indicatorAddr != 0) {
+                driver::JobSpec base;
+                base.label = id + "/" +
+                             variantName(VariantKind::Baseline);
+                base.attack = id;
+                base.profile = attackProfile();
+                base.config.variant.kind = VariantKind::Baseline;
+                base.workloadSeed = seed;
+                jobs.push_back(std::move(base));
+            }
+        }
+    }
+
+    std::vector<RunResult> results =
+        bench::runCampaignJobs(jobs, seed);
+
+    // Walk the results in the same suite/case order the jobs were
+    // enumerated in.
+    std::map<std::string, SuiteSummary> summaries;
+    size_t next = 0;
+    for (const AttackSuite &suite : attackSuites()) {
+        SuiteSummary &s = summaries[suite.name];
+        for (const AttackCase &attack : suite.cases) {
+            ++s.total;
+            const RunResult &r = results[next++];
+            if (r.violationDetected) {
+                ++s.detected;
+                ++s.byClass[r.violations[0].kind];
+                // Anchor accounting over *all* recorded violations:
+                // an incidental earlier violation must not
+                // misclassify a case whose expected anchor fires
+                // second.
+                for (const ViolationRecord &v : r.violations) {
+                    if (v.kind == attack.expected) {
+                        ++s.expectedAnchor;
+                        break;
+                    }
+                }
+            }
+
+            if (attack.indicatorAddr != 0) {
+                const RunResult &b = results[next++];
+                if (b.indicatorChecked) {
+                    ++s.baselineChecked;
+                    if (b.indicatorFired)
+                        ++s.baselineSucceeded;
+                }
+            }
+        }
+    }
 
     Table t({"suite", "exploits", "thwarted", "expected anchor",
              "work on baseline", "violation classes"});
     bool all_thwarted = true;
-    for (Row &row : rows) {
-        SuiteSummary s = evaluate(row.cases);
+    for (const AttackSuite &suite : attackSuites()) {
+        const SuiteSummary &s = summaries[suite.name];
         all_thwarted &= s.detected == s.total;
-        t.addRow({row.name, std::to_string(s.total),
+        std::string breakdown;
+        for (const auto &[v, n] : s.byClass) {
+            if (!breakdown.empty())
+                breakdown += ", ";
+            breakdown += std::to_string(n) + " " + violationName(v);
+        }
+        t.addRow({suite.title, std::to_string(s.total),
                   std::to_string(s.detected),
                   std::to_string(s.expectedAnchor),
                   std::to_string(s.baselineSucceeded) + "/" +
                       std::to_string(s.baselineChecked),
-                  classBreakdown(s)});
+                  breakdown});
     }
     t.print(std::cout);
 

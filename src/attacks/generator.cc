@@ -1,0 +1,460 @@
+#include "generator.hh"
+
+#include <stdexcept>
+
+#include "base/random.hh"
+#include "isa/assembler.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+/**
+ * Marker value planted (or hunted) by generated exploits. Chosen
+ * with all-distinct bytes so no single-byte fill can collide with
+ * it, and with the top bit clear so it round-trips through movri's
+ * signed immediate.
+ */
+constexpr uint64_t Secret = 0x51e9d3a7c0ffee01ull;
+
+/** Mirror of HeapAllocator::chunkSizeFor (non-ASan layout). */
+constexpr uint64_t
+chunkFor(uint64_t user_size)
+{
+    uint64_t sz = (user_size + 16 + 15) & ~15ull;
+    return sz < 32 ? 32 : sz;
+}
+
+constexpr int64_t
+InUseHeader(int64_t chunk_size)
+{
+    return chunk_size | 3; // size | IN_USE | PREV_INUSE
+}
+
+/** Builder shared by every recipe (mirrors the How2Heap one). */
+struct Gen
+{
+    Assembler as;
+    uint64_t indAddr;
+    uint64_t poolInd;
+    std::string tag;
+
+    Gen()
+    {
+        indAddr = as.addGlobal("gen_indicator", 8);
+        poolInd = as.poolSlotFor("gen_indicator");
+    }
+
+    void
+    mallocTo(RegId dst, int64_t size)
+    {
+        as.movri(RDI, size);
+        as.call(IntrinsicKind::Malloc);
+        if (dst != RAX)
+            as.movrr(dst, RAX);
+    }
+
+    void
+    freeReg(RegId src)
+    {
+        if (src != RDI)
+            as.movrr(RDI, src);
+        as.call(IntrinsicKind::Free);
+    }
+
+    void
+    storeIndicator(RegId value)
+    {
+        as.movrm(R11, memRip(poolInd));
+        as.movmr(memAt(R11, 0), value);
+    }
+
+    /** indicator = (x == y) ? 1 : 0 */
+    void
+    indicateIfEqual(RegId x, RegId y)
+    {
+        auto skip = as.newLabel();
+        as.movri(RAX, 0);
+        as.cmprr(x, y);
+        as.jcc(CondCode::NE, skip);
+        as.movri(RAX, 1);
+        as.bind(skip);
+        storeIndicator(RAX);
+    }
+
+    /** indicator = (x != y) ? 1 : 0 */
+    void
+    indicateIfDiffers(RegId x, RegId y)
+    {
+        auto skip = as.newLabel();
+        as.movri(RAX, 1);
+        as.cmprr(x, y);
+        as.jcc(CondCode::NE, skip);
+        as.movri(RAX, 0);
+        as.bind(skip);
+        storeIndicator(RAX);
+    }
+
+    AttackCase
+    finish(Violation expected)
+    {
+        as.hlt();
+        AttackCase out;
+        out.suite = "Generated";
+        out.name = tag;
+        out.expected = expected;
+        out.indicatorAddr = indAddr;
+        out.program = as.finalize();
+        return out;
+    }
+};
+
+/**
+ * Draw a small-bin user size: chunk class 32 + 16k for k in
+ * [0, 12], i.e. user sizes 16..208 in 16-byte steps. Classes are
+ * exact bins in the allocator, so two draws collide in a bin iff
+ * the sizes are equal.
+ */
+uint64_t
+pickUser(Random &rng)
+{
+    return 16 + 16 * rng.uniform(0, 12);
+}
+
+/** A user size from any small-bin class except @p user's. */
+uint64_t
+pickOtherUser(Random &rng, uint64_t user)
+{
+    uint64_t k = (user - 16) / 16;
+    uint64_t other = rng.uniform(0, 11);
+    if (other >= k)
+        ++other;
+    return 16 + 16 * other;
+}
+
+/**
+ * Emit @p n decoy allocations from bins other than @p user's:
+ * they bump the wilderness without disturbing the class under
+ * attack, varying the free-to-reuse distance.
+ */
+void
+emitDecoys(Gen &g, Random &rng, uint64_t user, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        g.mallocTo(RBX, pickOtherUser(rng, user));
+}
+
+/**
+ * Adjacent-chunk overflow: buf and victim are sequential
+ * allocations, so the victim's data sits heapChunkDistance(buf)
+ * past buf. Three shapes: a byte-granular overflow loop, a single
+ * OOB quad store, or an OOB quad read of a planted secret.
+ */
+AttackCase
+genOverflow(Random &rng)
+{
+    Gen g;
+    const uint64_t buf_user = pickUser(rng);
+    const uint64_t dist = chunkFor(buf_user);
+    const uint64_t vic_user = pickUser(rng);
+    const uint64_t vic_off = 8 * rng.uniform(0, vic_user / 8 - 1);
+    const bool is_read = rng.chance(0.35);
+    const bool loop_write = !is_read && rng.chance(0.5);
+    const bool guard = rng.chance(0.5);
+    const uint64_t reach = dist + vic_off;
+
+    g.mallocTo(R12, buf_user);
+    g.mallocTo(R13, vic_user);
+    if (guard)
+        g.mallocTo(R14, 512);
+
+    // Plant the secret in the victim word so the program can verify
+    // the corruption (or the leak) actually landed.
+    g.as.movri(RCX, static_cast<int64_t>(Secret));
+    g.as.movmr(memAt(R13, vic_off), RCX);
+
+    if (is_read) {
+        g.as.movrm(RDX, memAt(R12, reach)); // OOB read (anchor)
+        g.as.movri(RCX, static_cast<int64_t>(Secret));
+        g.indicateIfEqual(RDX, RCX);
+        g.tag = "ovf-read-b" + std::to_string(buf_user) + "-r" +
+                std::to_string(reach);
+        return g.finish(Violation::OutOfBounds);
+    }
+
+    if (loop_write) {
+        // Byte-granular overflow from offset 0 through the victim
+        // word; the first store past buf_user is the anchor.
+        const int64_t fill =
+            static_cast<int64_t>(0x41 + rng.uniform(0, 0x7d));
+        auto loop = g.as.newLabel();
+        auto done = g.as.newLabel();
+        g.as.movri(RCX, fill);
+        g.as.movri(R10, 0);
+        g.as.bind(loop);
+        g.as.cmpri(R10, static_cast<int64_t>(reach + 8));
+        g.as.jcc(CondCode::AE, done);
+        g.as.movmr(memAt(R12, 0, R10, 1), RCX, 1);
+        g.as.addri(R10, 1);
+        g.as.jmp(loop);
+        g.as.bind(done);
+        g.tag = "ovf-loop-b" + std::to_string(buf_user) + "-r" +
+                std::to_string(reach);
+    } else {
+        const uint64_t delta = 1 + (rng.next() & 0xffff);
+        g.as.movri(RCX, static_cast<int64_t>(Secret ^ delta));
+        g.as.movmr(memAt(R12, reach), RCX); // OOB store (anchor)
+        g.tag = "ovf-store-b" + std::to_string(buf_user) + "-r" +
+                std::to_string(reach);
+    }
+
+    // Corruption landed iff the victim word lost the secret.
+    g.as.movrm(RDX, memAt(R13, vic_off));
+    g.as.movri(RCX, static_cast<int64_t>(Secret));
+    g.indicateIfDiffers(RDX, RCX);
+    return g.finish(Violation::OutOfBounds);
+}
+
+/**
+ * Use-after-free at a seeded free-to-reuse distance. Store
+ * flavour: the stale pointer writes into the chunk's new owner.
+ * Load flavour: the stale pointer reads the freed chunk's fd link,
+ * leaking the previously freed neighbour's chunk address.
+ */
+AttackCase
+genUseAfterFree(Random &rng)
+{
+    Gen g;
+    const uint64_t user = pickUser(rng);
+    const unsigned gap = static_cast<unsigned>(rng.uniform(0, 5));
+
+    if (rng.chance(0.5)) {
+        const uint64_t off = 8 * rng.uniform(0, user / 8 - 1);
+        g.mallocTo(R12, user);
+        g.freeReg(R12);
+        emitDecoys(g, rng, user, gap);
+        g.mallocTo(R13, user); // LIFO: the same chunk comes back
+        g.as.movri(RCX, static_cast<int64_t>(Secret));
+        g.as.movmr(memAt(R12, off), RCX); // stale write (anchor)
+        g.as.movrm(RDX, memAt(R13, off)); // lands in the new owner
+        g.as.movri(RCX, static_cast<int64_t>(Secret));
+        g.indicateIfEqual(RDX, RCX);
+        g.tag = "uaf-store-s" + std::to_string(user) + "-o" +
+                std::to_string(off) + "-g" + std::to_string(gap);
+        return g.finish(Violation::UseAfterFree);
+    }
+
+    g.mallocTo(R12, user); // a
+    g.mallocTo(R13, user); // b
+    g.freeReg(R12);
+    g.freeReg(R13);
+    emitDecoys(g, rng, user, gap);
+    g.as.movrm(RDX, memAt(R13, 0)); // stale read (anchor): b's fd
+    g.as.movrr(RCX, R12);
+    g.as.subri(RCX, 16); // == a's chunk address
+    g.indicateIfEqual(RDX, RCX);
+    g.tag = "uaf-load-s" + std::to_string(user) + "-g" +
+            std::to_string(gap);
+    return g.finish(Violation::UseAfterFree);
+}
+
+/**
+ * Double free with interleaved decoy allocations (and optionally a
+ * decoy free) between the two frees, making the bin cyclic: the
+ * two subsequent mallocs return the same chunk.
+ */
+AttackCase
+genDoubleFree(Random &rng)
+{
+    Gen g;
+    const uint64_t user = pickUser(rng);
+    const unsigned pre = static_cast<unsigned>(rng.uniform(0, 2));
+    const unsigned mid = static_cast<unsigned>(rng.uniform(0, 3));
+    const unsigned post = static_cast<unsigned>(rng.uniform(0, 3));
+    const bool free_decoy = post > 0 && rng.chance(0.4);
+
+    emitDecoys(g, rng, user, pre);
+    g.mallocTo(R12, user);
+    emitDecoys(g, rng, user, mid);
+    g.freeReg(R12);
+    emitDecoys(g, rng, user, post);
+    if (free_decoy)
+        g.freeReg(RBX); // last decoy: lands in a different bin
+    g.freeReg(R12);     // double free (anchor)
+    g.mallocTo(R13, user);
+    g.mallocTo(R14, user);
+    g.indicateIfEqual(R13, R14);
+    g.tag = "df-s" + std::to_string(user) + "-p" +
+            std::to_string(pre) + "-m" + std::to_string(mid) + "-q" +
+            std::to_string(post) + (free_decoy ? "-fd" : "");
+    return g.finish(Violation::DoubleFree);
+}
+
+/**
+ * Uninitialized read of recycled memory: the previous owner left a
+ * secret behind; the new owner reads the word before ever writing
+ * it. Insecure baseline leaks the secret; a conditional-capability
+ * variant (detectUninitializedReads) anchors on the read.
+ */
+AttackCase
+genUninitRead(Random &rng)
+{
+    Gen g;
+    const uint64_t user = 32 + 16 * rng.uniform(0, 11); // >= 32
+    // Offset 0 holds the free-list fd after free(); skip it so the
+    // planted secret survives recycling.
+    const uint64_t off = 8 * rng.uniform(1, user / 8 - 1);
+    const unsigned gap = static_cast<unsigned>(rng.uniform(0, 4));
+
+    g.mallocTo(R12, user);
+    g.as.movri(RCX, static_cast<int64_t>(Secret));
+    g.as.movmr(memAt(R12, off), RCX);
+    g.freeReg(R12);
+    emitDecoys(g, rng, user, gap);
+    g.mallocTo(R13, user);            // the recycled chunk
+    g.as.movrm(RDX, memAt(R13, off)); // read-before-write (anchor)
+    g.as.movri(RCX, static_cast<int64_t>(Secret));
+    g.indicateIfEqual(RDX, RCX);
+    g.tag = "uninit-s" + std::to_string(user) + "-o" +
+            std::to_string(off) + "-g" + std::to_string(gap);
+    return g.finish(Violation::UninitializedRead);
+}
+
+/**
+ * Fake-chunk metadata forgery: free a pointer that was never
+ * returned by malloc — a global fake chunk with a forged header, an
+ * interior pointer into a live chunk, or a wild address whose
+ * garbage header the allocator coerces — and observe malloc hand
+ * the attacker-chosen region out.
+ */
+AttackCase
+genForge(Random &rng)
+{
+    Gen g;
+    const unsigned shape = static_cast<unsigned>(rng.uniform(0, 2));
+    const uint64_t fake_chunk = 32 + 16 * rng.uniform(0, 4);
+
+    if (shape == 0) {
+        // House-of-spirit: forged header in the data section.
+        g.as.addGlobal("gen_fake", fake_chunk + 32);
+        uint64_t pool_fake = g.as.poolSlotFor("gen_fake");
+        g.as.movrm(R15, memRip(pool_fake));
+        g.as.movmi(memAt(R15, 8),
+                   InUseHeader(static_cast<int64_t>(fake_chunk)), 8);
+        g.as.movrr(RDI, R15);
+        g.as.addri(RDI, 16);
+        g.as.call(IntrinsicKind::Free); // invalid free (anchor)
+        g.mallocTo(R13, static_cast<int64_t>(fake_chunk - 16));
+        g.as.addri(R15, 16);
+        g.indicateIfEqual(R13, R15);
+        g.tag = "forge-global-c" + std::to_string(fake_chunk);
+    } else if (shape == 1) {
+        // Interior free: the host chunk's user data is misread as a
+        // chunk header (pre-seeded to look valid).
+        const uint64_t hoff = 16 * rng.uniform(0, 3);
+        const uint64_t host_user =
+            hoff + fake_chunk + 16 * rng.uniform(1, 3);
+        g.mallocTo(R12, static_cast<int64_t>(host_user));
+        g.as.movmi(memAt(R12, static_cast<int64_t>(hoff + 8)),
+                   InUseHeader(static_cast<int64_t>(fake_chunk)), 8);
+        g.as.lea(RDI, memAt(R12, static_cast<int64_t>(hoff + 16)));
+        g.as.movrr(R15, RDI);
+        g.as.call(IntrinsicKind::Free); // invalid free (anchor)
+        g.mallocTo(R13, static_cast<int64_t>(fake_chunk - 16));
+        g.indicateIfEqual(R13, R15);
+        g.tag = "forge-interior-c" + std::to_string(fake_chunk) +
+                "-h" + std::to_string(hoff);
+    } else {
+        // Wild free: an arbitrary address in unmapped (zeroed)
+        // memory; the zero header is coerced to MinChunk and the
+        // fake chunk enters the 32-byte bin.
+        const uint64_t wild =
+            0x13370000ull + 0x1000 * rng.uniform(0, 255);
+        g.as.movri(RDI, static_cast<int64_t>(wild));
+        g.as.call(IntrinsicKind::Free); // invalid free (anchor)
+        g.mallocTo(R13,
+                   static_cast<int64_t>(8 + rng.uniform(0, 8)));
+        g.as.movri(RCX, static_cast<int64_t>(wild));
+        g.indicateIfEqual(R13, RCX);
+        g.tag = "forge-wild-" + std::to_string(wild >> 12 & 0xfff);
+    }
+    return g.finish(Violation::InvalidFree);
+}
+
+} // anonymous namespace
+
+const std::vector<std::string> &
+generatorFamilies()
+{
+    static const std::vector<std::string> names = {
+        "mix", "ovf", "uaf", "df", "uninit", "forge",
+    };
+    return names;
+}
+
+bool
+generatorFamilyFromName(const std::string &name, GenFamily *out)
+{
+    if (name == "mix")
+        *out = GenFamily::Mix;
+    else if (name == "ovf")
+        *out = GenFamily::Overflow;
+    else if (name == "uaf")
+        *out = GenFamily::UseAfterFree;
+    else if (name == "df")
+        *out = GenFamily::DoubleFree;
+    else if (name == "uninit")
+        *out = GenFamily::UninitRead;
+    else if (name == "forge")
+        *out = GenFamily::Forge;
+    else
+        return false;
+    return true;
+}
+
+std::string
+generatorFamilyName(GenFamily family)
+{
+    switch (family) {
+      case GenFamily::Mix: return "mix";
+      case GenFamily::Overflow: return "ovf";
+      case GenFamily::UseAfterFree: return "uaf";
+      case GenFamily::DoubleFree: return "df";
+      case GenFamily::UninitRead: return "uninit";
+      case GenFamily::Forge: return "forge";
+    }
+    return "mix";
+}
+
+AttackCase
+generateAttack(GenFamily family, uint64_t seed)
+{
+    // Distinct per-family streams: gen/ovf seed 5 and gen/uaf seed 5
+    // must not be correlated draws.
+    Random rng(seed +
+               0x9e3779b97f4a7c15ull *
+                   (static_cast<uint64_t>(family) + 1));
+
+    if (family == GenFamily::Mix) {
+        static const GenFamily concrete[] = {
+            GenFamily::Overflow, GenFamily::UseAfterFree,
+            GenFamily::DoubleFree, GenFamily::UninitRead,
+            GenFamily::Forge,
+        };
+        family = concrete[rng.uniform(0, 4)];
+    }
+
+    switch (family) {
+      case GenFamily::Overflow: return genOverflow(rng);
+      case GenFamily::UseAfterFree: return genUseAfterFree(rng);
+      case GenFamily::DoubleFree: return genDoubleFree(rng);
+      case GenFamily::UninitRead: return genUninitRead(rng);
+      case GenFamily::Forge: return genForge(rng);
+      case GenFamily::Mix: break;
+    }
+    throw std::logic_error("generateAttack: bad family");
+}
+
+} // namespace chex

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Seeded adversarial attack generator: composes the heap-attack
+ * primitives of the hand-written suites (overflow writes and reads
+ * with varied offset/length, use-after-free load/store at varied
+ * free-to-reuse distance, double free with interleaved allocations,
+ * uninitialized reads of recycled memory, and fake-chunk metadata
+ * forgery à la How2Heap) into complete AttackCase programs,
+ * deterministically from a single splitmix64 seed. The same
+ * (family, seed) pair always produces a byte-identical Program, so
+ * generated attacks shard, cache, and replay like any other
+ * campaign job.
+ *
+ * Every generated case is valid-by-construction against the
+ * insecure baseline: the program computes whether the corruption
+ * primitive actually landed and raises its indicator global only
+ * then, so a campaign can measure baseline validity alongside
+ * per-variant detection.
+ */
+
+#ifndef CHEX_ATTACKS_GENERATOR_HH
+#define CHEX_ATTACKS_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hh"
+
+namespace chex
+{
+
+/** Recipe families the generator can draw from. */
+enum class GenFamily
+{
+    Mix,          // seed picks one of the concrete families below
+    Overflow,     // spatial: adjacent-chunk overflow write/read
+    UseAfterFree, // temporal: stale load/store after reuse
+    DoubleFree,   // temporal: bin cycling with interleaved decoys
+    UninitRead,   // recycled-memory read before any write
+    Forge,        // fake-chunk metadata forgery (invalid free)
+};
+
+/** Short stable family tokens ("mix", "ovf", "uaf", ...). */
+const std::vector<std::string> &generatorFamilies();
+
+/** Token -> family; false when the token is unknown. */
+bool generatorFamilyFromName(const std::string &name, GenFamily *out);
+
+/** Token for a family (inverse of generatorFamilyFromName). */
+std::string generatorFamilyName(GenFamily family);
+
+/**
+ * Synthesize one attack. Deterministic: the same (family, seed)
+ * yields a byte-identical Program, name, and expectations. The
+ * case's suite is "Generated" and its name encodes the drawn
+ * recipe parameters for human triage.
+ */
+AttackCase generateAttack(GenFamily family, uint64_t seed);
+
+} // namespace chex
+
+#endif // CHEX_ATTACKS_GENERATOR_HH

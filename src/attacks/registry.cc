@@ -1,0 +1,118 @@
+#include "registry.hh"
+
+#include <map>
+#include <stdexcept>
+
+#include "attacks/asan_suite.hh"
+#include "attacks/how2heap.hh"
+#include "attacks/ripe.hh"
+
+namespace chex
+{
+
+namespace
+{
+
+constexpr char GenPrefix[] = "gen/";
+
+std::string
+suiteToken(const std::string &suite)
+{
+    if (suite == "RIPE")
+        return "ripe";
+    if (suite == "ASanSuite")
+        return "asan";
+    if (suite == "How2Heap")
+        return "how2heap";
+    if (suite == "Generated")
+        return "gen";
+    throw std::logic_error("unknown attack suite: " + suite);
+}
+
+/** ID -> (suite index, case index), built once over attackSuites(). */
+const std::map<std::string, std::pair<size_t, size_t>> &
+caseIndex()
+{
+    static const std::map<std::string, std::pair<size_t, size_t>>
+        index = [] {
+            std::map<std::string, std::pair<size_t, size_t>> m;
+            const auto &suites = attackSuites();
+            for (size_t s = 0; s < suites.size(); ++s) {
+                for (size_t c = 0; c < suites[s].cases.size(); ++c) {
+                    const std::string id =
+                        attackCaseId(suites[s].cases[c]);
+                    if (!m.emplace(id, std::make_pair(s, c)).second)
+                        throw std::logic_error(
+                            "duplicate attack case ID: " + id);
+                }
+            }
+            return m;
+        }();
+    return index;
+}
+
+} // anonymous namespace
+
+const std::vector<AttackSuite> &
+attackSuites()
+{
+    static const std::vector<AttackSuite> suites = [] {
+        std::vector<AttackSuite> s;
+        s.push_back({"ripe", "RIPE-style sweep", ripeSweep()});
+        s.push_back({"asan", "ASan test suite", asanSuite()});
+        s.push_back({"how2heap", "How2Heap", how2heapSuite()});
+        return s;
+    }();
+    return suites;
+}
+
+std::string
+attackCaseId(const AttackCase &c)
+{
+    return suiteToken(c.suite) + "/" + c.name;
+}
+
+bool
+isGeneratedAttackId(const std::string &id)
+{
+    return id.compare(0, sizeof(GenPrefix) - 1, GenPrefix) == 0;
+}
+
+const AttackCase *
+findSuiteCase(const std::string &id)
+{
+    const auto &index = caseIndex();
+    auto it = index.find(id);
+    if (it == index.end())
+        return nullptr;
+    return &attackSuites()[it->second.first]
+                .cases[it->second.second];
+}
+
+bool
+findAttackByName(const std::string &id, uint64_t seed,
+                 AttackCase *out, std::string *err)
+{
+    if (isGeneratedAttackId(id)) {
+        const std::string family = id.substr(sizeof(GenPrefix) - 1);
+        GenFamily f;
+        if (!generatorFamilyFromName(family, &f)) {
+            if (err)
+                *err = "unknown generator family '" + family +
+                       "' in attack ID '" + id + "'";
+            return false;
+        }
+        *out = generateAttack(f, seed);
+        return true;
+    }
+    const AttackCase *c = findSuiteCase(id);
+    if (!c) {
+        if (err)
+            *err = "unknown attack ID '" + id + "'";
+        return false;
+    }
+    *out = *c;
+    return true;
+}
+
+} // namespace chex

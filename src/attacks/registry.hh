@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Central attack registry: every exploit case — hand-written or
+ * generated — is addressable by a stable string ID, mirroring
+ * findProfileByName() for workloads. Hand-written cases use
+ * "<suite>/<case>" ("how2heap/fastbin_dup", "ripe/heap-write-..."),
+ * generated cases use "gen/<family>" plus the 64-bit seed carried
+ * by the job (the seed is the generator input, so one ID names a
+ * whole seedable family). This is what lets a JobSpec reference an
+ * attack by name, fold it into the spec hash, and reconstruct it
+ * bit-identically for caching, sharding, and replay.
+ */
+
+#ifndef CHEX_ATTACKS_REGISTRY_HH
+#define CHEX_ATTACKS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hh"
+#include "attacks/generator.hh"
+
+namespace chex
+{
+
+/** One hand-written suite with its stable ID token. */
+struct AttackSuite
+{
+    std::string name;  // ID token: "ripe" / "asan" / "how2heap"
+    std::string title; // human-readable ("RIPE-style sweep")
+    std::vector<AttackCase> cases;
+};
+
+/**
+ * The three hand-written suites, built once. Generated attacks are
+ * not listed here (they are a seed-indexed family, not a finite
+ * set); address them as "gen/<family>".
+ */
+const std::vector<AttackSuite> &attackSuites();
+
+/** Stable ID for a hand-written case: "<suite-token>/<name>". */
+std::string attackCaseId(const AttackCase &c);
+
+/** True for "gen/<family>" IDs (seed-dependent attacks). */
+bool isGeneratedAttackId(const std::string &id);
+
+/**
+ * Hand-written case lookup by ID; nullptr when unknown (including
+ * for generated IDs — those need a seed, use findAttackByName).
+ */
+const AttackCase *findSuiteCase(const std::string &id);
+
+/**
+ * Resolve any attack ID to a concrete case. For "gen/<family>" the
+ * case is synthesized from @p seed (deterministically); for
+ * hand-written IDs the seed is ignored. Returns false with a
+ * diagnostic in @p err (when non-null) if the ID is unknown.
+ */
+bool findAttackByName(const std::string &id, uint64_t seed,
+                      AttackCase *out, std::string *err = nullptr);
+
+} // namespace chex
+
+#endif // CHEX_ATTACKS_REGISTRY_HH

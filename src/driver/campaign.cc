@@ -7,6 +7,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "attacks/registry.hh"
 #include "base/logging.hh"
 #include "driver/spec_hash.hh"
 #include "driver/subprocess.hh"
@@ -102,6 +103,31 @@ runSpec(const JobSpec &spec, uint64_t seed)
     return checkedResult(spec, sys.run());
 }
 
+/**
+ * Attack job body: resolve (or synthesize, for "gen/<family>" IDs
+ * with the job seed as generator input) the attack case, run it,
+ * and record whether the exploit's corruption indicator fired —
+ * the baseline-validity signal the security report is built on.
+ */
+RunResult
+runAttackSpec(const JobSpec &spec, uint64_t seed)
+{
+    AttackCase attack;
+    std::string err;
+    if (!findAttackByName(spec.attack, seed, &attack, &err))
+        throw std::runtime_error(err);
+    System sys(spec.config);
+    sys.load(attack.program);
+    RunResult r = checkedResult(spec, sys.run());
+    if (attack.indicatorAddr != 0) {
+        r.indicatorChecked = true;
+        r.indicatorFired =
+            sys.memory().read(attack.indicatorAddr, 8) ==
+            attack.indicatorExpect;
+    }
+    return r;
+}
+
 /** Snapshot job body: restore the warmed checkpoint, then run on. */
 RunResult
 runSpecFromSnapshot(const JobSpec &spec, uint64_t seed,
@@ -139,7 +165,7 @@ const snapshot::MachineEntry *
 snapshotEntryFor(const JobSpec &spec, uint64_t seed,
                  const CampaignOptions &opts)
 {
-    if (!opts.snapshot || spec.body)
+    if (!opts.snapshot || spec.body || !spec.attack.empty())
         return nullptr;
     return opts.snapshot->findBySpecKey(specHash(spec, seed));
 }
@@ -162,6 +188,7 @@ describeJob(const JobSpec &spec, size_t index,
     jr.profileName = spec.profile.name;
     jr.variant = variantName(spec.config.variant.kind);
     jr.repetition = spec.repetition;
+    jr.attack = spec.attack;
     jr.seed = spec.workloadSeed ? *spec.workloadSeed
                                 : jobSeed(opts.seed, index);
     jr.specHash = spec.body ? 0 : specHash(spec, jr.seed);
@@ -184,6 +211,8 @@ executeJob(const JobSpec &spec, size_t index,
     auto run_body = [&]() {
         if (spec.body)
             return spec.body(spec, jr.seed);
+        if (!spec.attack.empty())
+            return runAttackSpec(spec, jr.seed);
         return snap ? runSpecFromSnapshot(spec, jr.seed, *snap)
                     : runSpec(spec, jr.seed);
     };

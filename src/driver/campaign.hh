@@ -93,6 +93,21 @@ struct JobSpec
     unsigned repetition = 0;
 
     /**
+     * Attack-case ID (attacks/registry.hh): "<suite>/<case>" for a
+     * hand-written exploit or "gen/<family>" for a generated one.
+     * Empty (the default) means a normal workload job. When set,
+     * the default body ignores the synthetic workload and instead
+     * resolves/synthesizes the attack program — for generated
+     * attacks the job's effective seed doubles as the generator
+     * seed, so one spec addresses a whole seedable family. The ID
+     * is folded into the spec hash (spec_hash.hh), so attack jobs
+     * cache, shard, and replay like any other job. Use
+     * attackProfile() (workload/profiles.hh) as the profile so
+     * replay can reconstruct the spec by name.
+     */
+    std::string attack;
+
+    /**
      * Override of the job body (tests, custom campaigns). Default:
      * build a System from `config`, load `generateWorkload(profile,
      * seed)`, and run to completion; a run that neither exits nor
@@ -132,6 +147,7 @@ struct JobResult
     std::string variant;     // variantName() of config.variant.kind
     uint64_t seed = 0;       // effective workload seed
     unsigned repetition = 0;
+    std::string attack;      // JobSpec::attack ID ("" = workload job)
 
     /**
      * Canonical content hash of (spec, seed) — see spec_hash.hh.

@@ -73,7 +73,7 @@ mergeReports(const std::vector<CampaignReport> &shards,
                                   s, i, jr.index));
             }
             if (jr.seed != ref.seed || jr.specHash != ref.specHash ||
-                jr.label != ref.label) {
+                jr.label != ref.label || jr.attack != ref.attack) {
                 return failMerge(
                     err,
                     csprintf("shard reports disagree on job %zu "

@@ -96,6 +96,11 @@ planReplay(const CampaignReport &report, size_t index,
     plan.spec.config.variant.kind = kind;
     plan.spec.workloadSeed = row.seed;
     plan.spec.repetition = row.repetition;
+    // Attack rows rebuild the exploit instead of the workload; the
+    // generator seed is the row seed, so the reconstruction is
+    // exact (attackProfile() sits at the scaledBy floor, making any
+    // --scale divisor a no-op on the hashed spec).
+    plan.spec.attack = row.attack;
     plan.fromSnapshot = row.fromSnapshot;
 
     // Verify before anything re-runs: the reconstructed spec must

@@ -73,7 +73,10 @@ toJson(const RunResult &r)
         // Heap behaviour
         .set("totalAllocations", r.totalAllocations)
         .set("maxLiveAllocations", r.maxLiveAllocations)
-        .set("avgAllocationsInUse", r.avgAllocationsInUse);
+        .set("avgAllocationsInUse", r.avgAllocationsInUse)
+        // Attack-job indicator (new in v6; always false elsewhere)
+        .set("indicatorChecked", r.indicatorChecked)
+        .set("indicatorFired", r.indicatorFired);
 }
 
 json::Value
@@ -102,6 +105,9 @@ toJson(const JobResult &jr)
                           .set("wallSeconds", jr.wallSeconds)
                           .set("attemptSeconds",
                                std::move(attempt_seconds));
+    // Attack jobs only (new in v6): workload rows keep their shape.
+    if (!jr.attack.empty())
+        job.set("attack", jr.attack);
     if (jr.skipped) {
         // Placeholder rows carry nothing further.
     } else if (jr.failed) {
@@ -127,7 +133,7 @@ toJson(const CampaignReport &report)
         jobs.push(toJson(jr));
 
     return json::Value::object()
-        .set("schema", "chex-campaign-report-v5")
+        .set("schema", "chex-campaign-report-v6")
         .set("seed", report.seed)
         .set("workers", report.workers)
         .set("shard", json::Value::object()
@@ -265,6 +271,9 @@ fromJson(const json::Value &v, RunResult &out, std::string *err)
     out.maxLiveAllocations = json::getUint(v, "maxLiveAllocations", 0);
     out.avgAllocationsInUse =
         json::getDouble(v, "avgAllocationsInUse", 0.0);
+    // Attack-job indicator: new in v6, absent (false) before.
+    out.indicatorChecked = json::getBool(v, "indicatorChecked", false);
+    out.indicatorFired = json::getBool(v, "indicatorFired", false);
     return true;
 }
 
@@ -281,6 +290,8 @@ fromJson(const json::Value &v, JobResult &out, std::string *err)
     out.seed = json::getUint(v, "seed", 0);
     out.repetition =
         static_cast<unsigned>(json::getUint(v, "repetition", 0));
+    // Attack-case ID: new in v6, absent (workload job) before.
+    out.attack = json::getString(v, "attack", "");
     // v1/v2 jobs carry no hash: they parse with specHash 0, which
     // never matches a computed hash, so pre-v3 reports load cleanly
     // as cache sources but yield no hits.
@@ -344,7 +355,8 @@ fromJson(const json::Value &v, CampaignReport &out, std::string *err)
         schema != "chex-campaign-report-v2" &&
         schema != "chex-campaign-report-v3" &&
         schema != "chex-campaign-report-v4" &&
-        schema != "chex-campaign-report-v5") {
+        schema != "chex-campaign-report-v5" &&
+        schema != "chex-campaign-report-v6") {
         return failParse(err, schema.empty()
                                   ? "missing schema tag"
                                   : "unknown schema tag");

@@ -1,0 +1,192 @@
+#include "security_report.hh"
+
+#include <ostream>
+
+#include "attacks/registry.hh"
+#include "base/logging.hh"
+#include "cap/capability.hh"
+#include "ucode/variant.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+namespace
+{
+
+bool
+failBuild(std::string *err, std::string what)
+{
+    if (err)
+        *err = "security report: " + std::move(what);
+    return false;
+}
+
+const char *BaselineName = variantName(VariantKind::Baseline);
+
+} // anonymous namespace
+
+bool
+buildSecurityReport(const CampaignReport &report, SecurityReport *out,
+                    std::string *err)
+{
+    if (std::max(1u, report.shardCount) != 1) {
+        return failBuild(err,
+                         "input report is one shard of a sharded "
+                         "campaign; merge the shards first "
+                         "(chex-campaign merge)");
+    }
+
+    *out = SecurityReport();
+    out->campaignSeed = report.seed;
+
+    // Pass 1: baseline validity per (attack, seed) — the ground
+    // truth an enforcement-row escape is judged against.
+    std::map<std::pair<std::string, uint64_t>, bool> baseline_fired;
+    for (const JobResult &jr : report.jobs) {
+        if (jr.attack.empty())
+            continue;
+        if (jr.skipped) {
+            return failBuild(
+                err, csprintf("attack job %zu is a skipped shard "
+                              "placeholder; merge the shards first",
+                              jr.index));
+        }
+        ++out->attackJobs;
+        if (jr.failed) {
+            ++out->failedJobs;
+            continue;
+        }
+        if (jr.variant != BaselineName)
+            continue;
+        if (!jr.run.indicatorChecked)
+            continue;
+        ++out->baselineChecked;
+        if (jr.run.indicatorFired)
+            ++out->baselineValid;
+        baseline_fired[{jr.attack, jr.seed}] = jr.run.indicatorFired;
+    }
+
+    // Pass 2: per-variant detection over the enforcement rows.
+    std::map<std::string, SecurityVariantSummary> variants;
+    for (const JobResult &jr : report.jobs) {
+        if (jr.attack.empty() || jr.failed ||
+            jr.variant == BaselineName) {
+            continue;
+        }
+
+        // Re-resolve the case to recover the expected anchor class;
+        // for generated attacks this re-synthesizes the identical
+        // program from (ID, seed).
+        AttackCase attack;
+        std::string resolve_err;
+        if (!findAttackByName(jr.attack, jr.seed, &attack,
+                              &resolve_err)) {
+            return failBuild(
+                err, csprintf("job %zu: %s", jr.index,
+                              resolve_err.c_str()));
+        }
+
+        SecurityVariantSummary &s = variants[jr.variant];
+        s.variant = jr.variant;
+        ++s.attacks;
+        if (jr.run.violationDetected) {
+            ++s.detected;
+            if (!jr.run.violations.empty())
+                ++s.byClass[violationName(
+                    jr.run.violations[0].kind)];
+            // Anchor accounting over *all* recorded violations: an
+            // incidental earlier violation must not misclassify a
+            // case whose expected anchor fires second.
+            for (const ViolationRecord &v : jr.run.violations) {
+                if (v.kind == attack.expected) {
+                    ++s.anchorMatches;
+                    break;
+                }
+            }
+            continue;
+        }
+
+        SecurityEscape esc;
+        esc.index = jr.index;
+        esc.attack = jr.attack;
+        esc.seed = jr.seed;
+        esc.variant = jr.variant;
+        esc.expected = violationName(attack.expected);
+        auto it = baseline_fired.find({jr.attack, jr.seed});
+        esc.baselineValid = it != baseline_fired.end() && it->second;
+        out->escaped.push_back(std::move(esc));
+    }
+
+    out->variants.reserve(variants.size());
+    for (auto &[name, summary] : variants)
+        out->variants.push_back(std::move(summary));
+    return true;
+}
+
+json::Value
+toJson(const SecurityReport &report)
+{
+    json::Value variants = json::Value::array();
+    for (const SecurityVariantSummary &s : report.variants) {
+        json::Value by_class = json::Value::object();
+        for (const auto &[cls, n] : s.byClass)
+            by_class.set(cls, static_cast<uint64_t>(n));
+        variants.push(
+            json::Value::object()
+                .set("variant", s.variant)
+                .set("attacks", static_cast<uint64_t>(s.attacks))
+                .set("detected", static_cast<uint64_t>(s.detected))
+                .set("anchorMatches",
+                     static_cast<uint64_t>(s.anchorMatches))
+                .set("detectionRate",
+                     s.attacks ? static_cast<double>(s.detected) /
+                                     static_cast<double>(s.attacks)
+                               : 0.0)
+                .set("byClass", std::move(by_class)));
+    }
+
+    json::Value escaped = json::Value::array();
+    for (const SecurityEscape &e : report.escaped) {
+        escaped.push(json::Value::object()
+                         .set("index",
+                              static_cast<uint64_t>(e.index))
+                         .set("attack", e.attack)
+                         .set("seed", e.seed)
+                         .set("variant", e.variant)
+                         .set("expected", e.expected)
+                         .set("baselineValid", e.baselineValid));
+    }
+
+    return json::Value::object()
+        .set("schema", "chex-security-report-v1")
+        .set("campaignSeed", report.campaignSeed)
+        .set("attackJobs", static_cast<uint64_t>(report.attackJobs))
+        .set("failedJobs", static_cast<uint64_t>(report.failedJobs))
+        .set("baseline",
+             json::Value::object()
+                 .set("checked",
+                      static_cast<uint64_t>(report.baselineChecked))
+                 .set("valid",
+                      static_cast<uint64_t>(report.baselineValid))
+                 .set("validityRate",
+                      report.baselineChecked
+                          ? static_cast<double>(
+                                report.baselineValid) /
+                                static_cast<double>(
+                                    report.baselineChecked)
+                          : 0.0))
+        .set("variants", std::move(variants))
+        .set("escaped", std::move(escaped));
+}
+
+void
+writeSecurityReport(const SecurityReport &report, std::ostream &os)
+{
+    toJson(report).write(os, 2);
+    os << "\n";
+}
+
+} // namespace driver
+} // namespace chex

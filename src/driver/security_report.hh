@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Security report: distills a campaign report whose rows are attack
+ * jobs (JobSpec::attack) into the `chex-security-report-v1` JSON
+ * block — per-variant detection rate with anchor-class breakdown,
+ * baseline validity rate (did the exploit's corruption indicator
+ * fire under the insecure baseline?), and the (attack, seed) of
+ * every escaped attack for one-command replay triage.
+ *
+ * The report is a pure function of the campaign rows (no timing
+ * fields), so plain, sharded-then-merged, and cache-satisfied runs
+ * of the same campaign produce bit-identical security reports.
+ */
+
+#ifndef CHEX_DRIVER_SECURITY_REPORT_HH
+#define CHEX_DRIVER_SECURITY_REPORT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/json.hh"
+#include "driver/campaign.hh"
+
+namespace chex
+{
+namespace driver
+{
+
+/** Detection statistics for one enforcement variant. */
+struct SecurityVariantSummary
+{
+    std::string variant;
+    size_t attacks = 0;       // attack jobs run under this variant
+    size_t detected = 0;      // jobs that flagged any violation
+    size_t anchorMatches = 0; // expected class among the violations
+    /** First-flagged violation class -> count (detected jobs). */
+    std::map<std::string, size_t> byClass;
+};
+
+/** One undetected attack, keyed for replay. */
+struct SecurityEscape
+{
+    size_t index = 0;     // campaign job index (replay --index)
+    std::string attack;   // attack-case ID
+    uint64_t seed = 0;    // generator/job seed
+    std::string variant;
+    std::string expected; // the anchor class that never fired
+    /**
+     * True when the same (attack, seed) fired its indicator under
+     * the baseline — i.e. the escape is a *real* exploit the
+     * variant missed, not a dud case.
+     */
+    bool baselineValid = false;
+};
+
+/** The distilled security view of one attack campaign. */
+struct SecurityReport
+{
+    uint64_t campaignSeed = 0;
+    size_t attackJobs = 0;        // rows with an attack ID
+    size_t failedJobs = 0;        // excluded from every rate below
+    size_t baselineChecked = 0;   // baseline rows with an indicator
+    size_t baselineValid = 0;     // ...whose indicator fired
+    std::vector<SecurityVariantSummary> variants; // sorted by name
+    std::vector<SecurityEscape> escaped;          // job-index order
+};
+
+/**
+ * Build the security view of @p report. Fails (false, diagnostic in
+ * @p err) when the report is still sharded (merge first: rates over
+ * a slice would silently misrepresent the campaign), contains
+ * skipped attack rows, or an attack ID no longer resolves.
+ * Non-attack rows are ignored, so mixed campaigns work.
+ */
+bool buildSecurityReport(const CampaignReport &report,
+                         SecurityReport *out, std::string *err);
+
+/** Serialize as the `chex-security-report-v1` schema. */
+json::Value toJson(const SecurityReport &report);
+
+/** Write the JSON document (stable formatting, trailing newline). */
+void writeSecurityReport(const SecurityReport &report,
+                         std::ostream &os);
+
+} // namespace driver
+} // namespace chex
+
+#endif // CHEX_DRIVER_SECURITY_REPORT_HH

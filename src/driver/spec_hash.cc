@@ -42,6 +42,10 @@ specHash(const JobSpec &spec, uint64_t seed)
     hashProfile(h, spec.profile);
     hashSystemConfig(h, spec.config);
     h.u64("seed", seed);
+    // Guarded so every pre-existing (non-attack) spec keeps its
+    // historical hash: old reports stay valid cache inputs.
+    if (!spec.attack.empty())
+        h.str("attack.case", spec.attack);
     return h.digest();
 }
 

@@ -131,6 +131,17 @@ struct RunResult
     uint64_t totalAllocations = 0;
     uint64_t maxLiveAllocations = 0;
     double avgAllocationsInUse = 0.0;
+
+    /**
+     * Attack-job bookkeeping (driver attack jobs only): whether the
+     * exploit's corruption indicator was inspected after the run,
+     * and whether it held the expected value. Under the insecure
+     * baseline a fired indicator proves the generated exploit is
+     * real; under an enforcement variant it means the corruption
+     * landed before (or despite) detection.
+     */
+    bool indicatorChecked = false;
+    bool indicatorFired = false;
 };
 
 /** The simulated system. */

@@ -165,6 +165,29 @@ serverProfiles()
 }
 
 const BenchmarkProfile &
+attackProfile()
+{
+    static const BenchmarkProfile profile = [] {
+        BenchmarkProfile p;
+        p.name = "attack";
+        // The exploit program replaces the synthetic workload, so
+        // none of the workload knobs matter; iterations sits at the
+        // scaledBy() floor so any --scale divisor leaves the spec
+        // (and therefore its hash) unchanged on replay.
+        p.totalAllocations = 8;
+        p.maxLiveBuffers = 8;
+        p.buffersInUse = 4;
+        p.allocSizeMin = 16;
+        p.allocSizeMax = 512;
+        p.pointerIntensity = 1.0;
+        p.iterations = 200;
+        p.scheduleLength = 8;
+        return p;
+    }();
+    return profile;
+}
+
+const BenchmarkProfile &
 profileByName(const std::string &name)
 {
     if (const BenchmarkProfile *p = findProfileByName(name))
@@ -181,6 +204,8 @@ findProfileByName(const std::string &name)
     for (const auto &p : serverProfiles())
         if (p.name == name)
             return &p;
+    if (name == attackProfile().name)
+        return &attackProfile();
     return nullptr;
 }
 

@@ -89,6 +89,16 @@ const std::vector<BenchmarkProfile> &allProfiles();
  */
 const std::vector<BenchmarkProfile> &serverProfiles();
 
+/**
+ * Sentinel profile carried by attack jobs (JobSpec::attack): the
+ * exploit program replaces the synthetic workload, but replay and
+ * spec hashing still need a named, reconstructible profile. Its
+ * iteration count sits at the scaledBy() floor, so scaling is a
+ * no-op and replayed attack specs hash identically. Not part of
+ * allProfiles(); findProfileByName() resolves "attack" to it.
+ */
+const BenchmarkProfile &attackProfile();
+
 /** Profile lookup by name; fatal if unknown. */
 const BenchmarkProfile &profileByName(const std::string &name);
 

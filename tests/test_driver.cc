@@ -554,7 +554,7 @@ TEST(Report, CampaignJsonRoundTrips)
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
 
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v5");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v6");
     EXPECT_EQ(doc.at("seed").number(), 11.0);
     // An unsharded campaign is shard 0 of 1 with nothing skipped.
     EXPECT_EQ(doc.at("shard").at("index").number(), 0.0);
@@ -615,7 +615,7 @@ TEST(Report, V5RoundTripsThroughFromJson)
     json::Value doc;
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v5");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v6");
 
     driver::CampaignReport back;
     ASSERT_TRUE(driver::fromJson(doc, back, &err)) << err;
@@ -1163,7 +1163,7 @@ TEST(Shard, ShardReportJsonRoundTrips)
     json::Value doc;
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v5");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v6");
     EXPECT_EQ(doc.at("shard").at("index").number(), 0.0);
     EXPECT_EQ(doc.at("shard").at("count").number(), 2.0);
     EXPECT_EQ(doc.at("summary").at("jobsSkipped").number(), 4.0);
@@ -1618,7 +1618,7 @@ TEST(SnapshotCampaign, ReportV5RoundTripsFromSnapshotFlag)
     json::Value doc;
     std::string err;
     ASSERT_TRUE(json::Value::parse(ss.str(), doc, &err)) << err;
-    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v5");
+    EXPECT_EQ(doc.at("schema").str(), "chex-campaign-report-v6");
     EXPECT_EQ(doc.at("summary").at("jobsFromSnapshot").number(),
               double(jobs.size()));
     for (size_t i = 0; i < doc.at("jobs").size(); ++i)

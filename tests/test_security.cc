@@ -6,19 +6,32 @@
  * microcode variant with the expected anchor violation — and a
  * representative set must demonstrably *succeed* (corrupt state)
  * on the insecure baseline, proving the exploits are real.
+ *
+ * The cases come through the central attack registry
+ * (attacks/registry.hh), the same API the campaign driver and the
+ * bench harness resolve attack IDs against.
  */
 
 #include <gtest/gtest.h>
 
-#include "attacks/asan_suite.hh"
-#include "attacks/how2heap.hh"
-#include "attacks/ripe.hh"
+#include "attacks/registry.hh"
 #include "sim/system.hh"
 
 namespace chex
 {
 namespace
 {
+
+const std::vector<AttackCase> &
+suiteCases(const std::string &token)
+{
+    for (const AttackSuite &suite : attackSuites())
+        if (suite.name == token)
+            return suite.cases;
+    static const std::vector<AttackCase> none;
+    ADD_FAILURE() << "registry has no suite '" << token << "'";
+    return none;
+}
 
 RunResult
 runUnder(const AttackCase &attack, VariantKind kind)
@@ -65,19 +78,19 @@ class AsanSuiteTest : public ::testing::TestWithParam<size_t>
 
 TEST_P(AsanSuiteTest, DetectedWithExpectedAnchor)
 {
-    expectDetected(asanSuite()[GetParam()]);
+    expectDetected(suiteCases("asan")[GetParam()]);
 }
 
 TEST_P(AsanSuiteTest, SucceedsOnBaseline)
 {
-    expectBaselineSucceeds(asanSuite()[GetParam()]);
+    expectBaselineSucceeds(suiteCases("asan")[GetParam()]);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllCases, AsanSuiteTest,
-    ::testing::Range<size_t>(0, asanSuite().size()),
+    ::testing::Range<size_t>(0, suiteCases("asan").size()),
     [](const ::testing::TestParamInfo<size_t> &info) {
-        return asanSuite()[info.param].name;
+        return suiteCases("asan")[info.param].name;
     });
 
 class How2HeapTest : public ::testing::TestWithParam<size_t>
@@ -86,19 +99,19 @@ class How2HeapTest : public ::testing::TestWithParam<size_t>
 
 TEST_P(How2HeapTest, DetectedWithExpectedAnchor)
 {
-    expectDetected(how2heapSuite()[GetParam()]);
+    expectDetected(suiteCases("how2heap")[GetParam()]);
 }
 
 TEST_P(How2HeapTest, SucceedsOnBaseline)
 {
-    expectBaselineSucceeds(how2heapSuite()[GetParam()]);
+    expectBaselineSucceeds(suiteCases("how2heap")[GetParam()]);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllCases, How2HeapTest,
-    ::testing::Range<size_t>(0, how2heapSuite().size()),
+    ::testing::Range<size_t>(0, suiteCases("how2heap").size()),
     [](const ::testing::TestParamInfo<size_t> &info) {
-        return how2heapSuite()[info.param].name;
+        return suiteCases("how2heap")[info.param].name;
     });
 
 class RipeTest : public ::testing::TestWithParam<size_t>
@@ -107,19 +120,19 @@ class RipeTest : public ::testing::TestWithParam<size_t>
 
 TEST_P(RipeTest, DetectedWithExpectedAnchor)
 {
-    expectDetected(ripeSweep()[GetParam()]);
+    expectDetected(suiteCases("ripe")[GetParam()]);
 }
 
 TEST_P(RipeTest, SucceedsOnBaseline)
 {
-    expectBaselineSucceeds(ripeSweep()[GetParam()]);
+    expectBaselineSucceeds(suiteCases("ripe")[GetParam()]);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Sweep, RipeTest,
-    ::testing::Range<size_t>(0, ripeSweep().size()),
+    ::testing::Range<size_t>(0, suiteCases("ripe").size()),
     [](const ::testing::TestParamInfo<size_t> &info) {
-        std::string name = ripeSweep()[info.param].name;
+        std::string name = suiteCases("ripe")[info.param].name;
         for (char &c : name)
             if (c == '-')
                 c = '_';
@@ -128,12 +141,12 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(Security, How2HeapHas18Cases)
 {
-    EXPECT_EQ(how2heapSuite().size(), 18u);
+    EXPECT_EQ(suiteCases("how2heap").size(), 18u);
 }
 
 TEST(Security, AllVariantsOfChex86DetectFastbinDup)
 {
-    const AttackCase attack = how2heapSuite()[0];
+    const AttackCase attack = suiteCases("how2heap")[0];
     for (VariantKind kind :
          {VariantKind::HardwareOnly, VariantKind::BinaryTranslation,
           VariantKind::MicrocodeAlwaysOn,
@@ -145,13 +158,13 @@ TEST(Security, AllVariantsOfChex86DetectFastbinDup)
 
 TEST(Security, AsanModelDetectsHeapOob)
 {
-    RunResult r = runUnder(asanSuite()[0], VariantKind::Asan);
+    RunResult r = runUnder(suiteCases("asan")[0], VariantKind::Asan);
     EXPECT_TRUE(r.violationDetected);
 }
 
 TEST(Security, AsanModelDetectsUafViaQuarantine)
 {
-    RunResult r = runUnder(asanSuite()[4], VariantKind::Asan);
+    RunResult r = runUnder(suiteCases("asan")[4], VariantKind::Asan);
     EXPECT_TRUE(r.violationDetected);
 }
 

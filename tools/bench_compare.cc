@@ -14,6 +14,12 @@
  *    BENCH_aliasscale.json): per-live-target alias-table op counts,
  *    live entries, node counts, peak/end shadow bytes, result
  *    checksum, and host ops/second.
+ *  - chex-security-report-v1 (chex-campaign attack → the committed
+ *    BENCH_security.json): per-variant attack/detected/anchor
+ *    counts, violation-class breakdown, baseline validity, and
+ *    escape count. Everything is deterministic-output drift here —
+ *    there are no wall-clock fields — and a detection-rate drop is
+ *    flagged by name as the headline regression.
  *
  * Two classes of divergence, with different severities:
  *
@@ -403,6 +409,144 @@ compareAliasScale(const char *paths[2], const Value &base_doc,
     return 0;
 }
 
+// ---------------------------------------------------------------
+// chex-security-report-v1
+// ---------------------------------------------------------------
+
+struct SecurityVariantRow
+{
+    uint64_t attacks = 0;
+    uint64_t detected = 0;
+    uint64_t anchorMatches = 0;
+    double detectionRate = 0.0;
+    std::map<std::string, uint64_t> byClass;
+};
+
+bool
+loadSecurity(const char *path, const Value &doc,
+             std::map<std::string, SecurityVariantRow> &rows)
+{
+    const Value *variants = doc.find("variants");
+    if (!variants || !variants->isArray()) {
+        std::fprintf(stderr, "bench-compare: %s: missing variants[]\n",
+                     path);
+        return false;
+    }
+    for (const Value &v : variants->items()) {
+        SecurityVariantRow r;
+        r.attacks = chex::json::getUint(v, "attacks", 0);
+        r.detected = chex::json::getUint(v, "detected", 0);
+        r.anchorMatches = chex::json::getUint(v, "anchorMatches", 0);
+        r.detectionRate = chex::json::getDouble(v, "detectionRate", 0);
+        if (const Value *by_class = v.find("byClass")) {
+            for (const auto &[cls, n] : by_class->members())
+                r.byClass[cls] = n.isNumber() ? n.asUint64() : 0;
+        }
+        rows[chex::json::getString(v, "variant", "?")] = r;
+    }
+    return true;
+}
+
+int
+compareSecurity(const char *paths[2], const Value &base_doc,
+                const Value &new_doc)
+{
+    // Same campaign seed, or the reports sweep different exploit
+    // populations entirely.
+    if (chex::json::getUint(base_doc, "campaignSeed", 0) !=
+        chex::json::getUint(new_doc, "campaignSeed", 0)) {
+        std::fprintf(stderr,
+                     "bench-compare: campaignSeed differs — the "
+                     "reports sweep different attack populations\n");
+        return 1;
+    }
+
+    checkUint("campaign", "attackJobs",
+              chex::json::getUint(base_doc, "attackJobs", 0),
+              chex::json::getUint(new_doc, "attackJobs", 0));
+    checkUint("campaign", "failedJobs",
+              chex::json::getUint(base_doc, "failedJobs", 0),
+              chex::json::getUint(new_doc, "failedJobs", 0));
+
+    const Value *base_bl = base_doc.find("baseline");
+    const Value *new_bl = new_doc.find("baseline");
+    if (base_bl && new_bl) {
+        checkUint("baseline", "checked",
+                  chex::json::getUint(*base_bl, "checked", 0),
+                  chex::json::getUint(*new_bl, "checked", 0));
+        checkUint("baseline", "valid",
+                  chex::json::getUint(*base_bl, "valid", 0),
+                  chex::json::getUint(*new_bl, "valid", 0));
+    }
+
+    std::map<std::string, SecurityVariantRow> base_rows, new_rows;
+    if (!loadSecurity(paths[0], base_doc, base_rows) ||
+        !loadSecurity(paths[1], new_doc, new_rows)) {
+        return 1;
+    }
+
+    for (const auto &[name, b] : base_rows) {
+        auto it = new_rows.find(name);
+        if (it == new_rows.end()) {
+            std::fprintf(stderr,
+                         "FATAL: variant '%s' missing from %s\n",
+                         name.c_str(), paths[1]);
+            ++g_fatal;
+            continue;
+        }
+        const SecurityVariantRow &n = it->second;
+        // A detection-rate drop is THE regression this comparator
+        // exists to catch: an enforcement variant newly missing
+        // exploits it used to stop. Call it out by name before the
+        // raw count diffs.
+        if (n.detectionRate < b.detectionRate) {
+            std::fprintf(stderr,
+                         "FATAL: %s: detection rate dropped %.4f -> "
+                         "%.4f\n",
+                         name.c_str(), b.detectionRate,
+                         n.detectionRate);
+            ++g_fatal;
+        }
+        checkUint(name, "attacks", b.attacks, n.attacks);
+        checkUint(name, "detected", b.detected, n.detected);
+        checkUint(name, "anchorMatches", b.anchorMatches,
+                  n.anchorMatches);
+        for (const auto &[cls, count] : b.byClass) {
+            auto cit = n.byClass.find(cls);
+            checkUint(name, ("byClass." + cls).c_str(), count,
+                      cit == n.byClass.end() ? 0 : cit->second);
+        }
+        for (const auto &[cls, count] : n.byClass) {
+            if (!b.byClass.count(cls))
+                checkUint(name, ("byClass." + cls).c_str(), 0,
+                          count);
+        }
+    }
+    for (const auto &[name, r] : new_rows) {
+        (void)r;
+        if (!base_rows.count(name))
+            std::fprintf(stderr,
+                         "note: new variant '%s' not in baseline\n",
+                         name.c_str());
+    }
+
+    const Value *base_esc = base_doc.find("escaped");
+    const Value *new_esc = new_doc.find("escaped");
+    checkUint("campaign", "escaped",
+              base_esc && base_esc->isArray()
+                  ? base_esc->items().size() : 0,
+              new_esc && new_esc->isArray()
+                  ? new_esc->items().size() : 0);
+
+    if (g_fatal)
+        return 1;
+    std::fprintf(stderr,
+                 "bench-compare: security outcomes match for all %zu "
+                 "variants\n",
+                 base_rows.size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -449,11 +593,14 @@ main(int argc, char **argv)
         return compareCapScale(paths, base_doc, new_doc);
     if (base_schema == "chex-bench-aliasscale-v1")
         return compareAliasScale(paths, base_doc, new_doc);
+    if (base_schema == "chex-security-report-v1")
+        return compareSecurity(paths, base_doc, new_doc);
 
     std::fprintf(stderr,
                  "bench-compare: unsupported schema '%s' (expected "
                  "chex-bench-throughput-v1, chex-bench-capscale-v1, "
-                 "or chex-bench-aliasscale-v1)\n",
+                 "chex-bench-aliasscale-v1, or "
+                 "chex-security-report-v1)\n",
                  base_schema.c_str());
     return 1;
 }

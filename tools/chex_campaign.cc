@@ -5,6 +5,9 @@
  *
  *   chex-campaign run      — execute a campaign (or one shard of
  *                            it) and write the JSON report
+ *   chex-campaign attack   — sweep generated/suite exploit cases
+ *                            across variants and distill the
+ *                            security report
  *   chex-campaign merge    — recombine shard reports into the one
  *                            report an unsharded run would produce
  *   chex-campaign snapshot — warm every (profile, variant) point
@@ -41,8 +44,18 @@
  * the bundle, when the campaign fanned out of one):
  *
  *   chex-campaign replay --report report.json --isolate
+ *
+ * Security campaigns sweep seeded generated exploits (and/or the
+ * hand-written suites) against enforcement variants, validate each
+ * exploit against the insecure baseline, and emit the distilled
+ * chex-security-report-v1 alongside the raw campaign report:
+ *
+ *   chex-campaign attack --attacks gen/mix --seeds 500 \
+ *                        --variants baseline,ucode-pred \
+ *                        --out attacks.json --security-out sec.json
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -54,12 +67,15 @@
 #include <string>
 #include <vector>
 
+#include "attacks/generator.hh"
+#include "attacks/registry.hh"
 #include "base/logging.hh"
 #include "driver/campaign.hh"
 #include "driver/env.hh"
 #include "driver/merge.hh"
 #include "driver/replay.hh"
 #include "driver/report.hh"
+#include "driver/security_report.hh"
 #include "driver/spec_hash.hh"
 #include "flag_parser.hh"
 #include "snapshot/codec.hh"
@@ -189,6 +205,80 @@ resolveVariants(const char *ctx, const std::string &arg,
 }
 
 /**
+ * Resolve one --attacks token into stable attack-case IDs. Accepts
+ * 'suites' (every hand-written case), a suite token ('ripe', 'asan',
+ * 'how2heap'), 'gen' (every generator family), 'gen/<family>', or an
+ * explicit "<suite>/<case>" ID.
+ */
+bool
+resolveAttackToken(const char *ctx, const std::string &token,
+                   std::vector<std::string> *out)
+{
+    if (token == "suites") {
+        for (const AttackSuite &suite : attackSuites())
+            for (const AttackCase &c : suite.cases)
+                out->push_back(attackCaseId(c));
+        return true;
+    }
+    for (const AttackSuite &suite : attackSuites()) {
+        if (token == suite.name) {
+            for (const AttackCase &c : suite.cases)
+                out->push_back(attackCaseId(c));
+            return true;
+        }
+    }
+    if (token == "gen") {
+        for (const std::string &family : generatorFamilies())
+            out->push_back("gen/" + family);
+        return true;
+    }
+    if (isGeneratedAttackId(token) || findSuiteCase(token)) {
+        out->push_back(token);
+        return true;
+    }
+    std::fprintf(stderr,
+                 "%s: unknown attack '%s' (see --list)\n", ctx,
+                 token.c_str());
+    return false;
+}
+
+/** Resolve a full --attacks argument, deduplicating repeats. */
+bool
+resolveAttacks(const char *ctx, const std::string &arg,
+               std::vector<std::string> *out)
+{
+    for (const std::string &token : splitCommas(arg))
+        if (!resolveAttackToken(ctx, token, out))
+            return false;
+    std::vector<std::string> unique;
+    for (std::string &id : *out)
+        if (std::find(unique.begin(), unique.end(), id) ==
+            unique.end())
+            unique.push_back(std::move(id));
+    *out = std::move(unique);
+    return true;
+}
+
+void
+listAttackChoices()
+{
+    std::printf("attacks:\n");
+    std::printf("  %-12s every hand-written suite case\n", "suites");
+    for (const AttackSuite &suite : attackSuites())
+        std::printf("  %-12s %s (%zu cases)\n", suite.name.c_str(),
+                    suite.title.c_str(), suite.cases.size());
+    std::printf("  %-12s every generator family\n", "gen");
+    for (const std::string &family : generatorFamilies())
+        std::printf("  gen/%-8s seeded generated attacks\n",
+                    family.c_str());
+    std::printf("  (or an explicit \"<suite>/<case>\" ID)\n");
+    std::printf("variants:\n");
+    for (const auto &[token, kind] : variantTokens())
+        std::printf("  %-12s = %s\n", token.c_str(),
+                    variantName(kind));
+}
+
+/**
  * The (profile x variant) x reps job list both run and snapshot
  * enumerate. A single rep pins the workload seed so every variant
  * sees the identical program; with reps the driver derives per-job
@@ -251,7 +341,7 @@ runMain(const char *argv0, int argc, char **argv, int begin,
         argv0, bare ? "" : "run",
         "Run a simulation campaign (profiles x variants x reps) on "
         "a\nworker thread pool and emit a JSON report "
-        "(chex-campaign-report-v5).");
+        "(chex-campaign-report-v6).");
     parser.add("--profiles", "LIST",
                "comma-separated profile names, or one of\n"
                "'spec', 'parsec', 'all', 'server' (default: spec)",
@@ -508,6 +598,401 @@ runMain(const char *argv0, int argc, char **argv, int begin,
     return report.jobsFailed ? 1 : 0;
 }
 
+/** Print the human-readable summary of a distilled security report. */
+void
+printSecuritySummary(const driver::SecurityReport &sec)
+{
+    std::printf("\nsecurity: %zu attack jobs (%zu failed), baseline "
+                "validity %zu/%zu\n",
+                sec.attackJobs, sec.failedJobs, sec.baselineValid,
+                sec.baselineChecked);
+    for (const driver::SecurityVariantSummary &s : sec.variants) {
+        std::printf("  %-16s detected %zu/%zu (%.1f%%), anchor "
+                    "matches %zu\n",
+                    s.variant.c_str(), s.detected, s.attacks,
+                    s.attacks ? 100.0 * static_cast<double>(
+                                            s.detected) /
+                                    static_cast<double>(s.attacks)
+                              : 0.0,
+                    s.anchorMatches);
+    }
+    for (const driver::SecurityEscape &e : sec.escaped) {
+        std::printf("  ESCAPED job %zu: %s seed %llu under %s "
+                    "(expected %s%s)\n",
+                    e.index, e.attack.c_str(),
+                    static_cast<unsigned long long>(e.seed),
+                    e.variant.c_str(), e.expected.c_str(),
+                    e.baselineValid ? ", baseline-valid exploit"
+                                    : "");
+    }
+}
+
+int
+attackMain(const char *argv0, int argc, char **argv, int begin)
+{
+    driver::EnvOptions env = driver::optionsFromEnv();
+
+    std::string attacks_arg = "gen/mix";
+    std::string variants_arg = "baseline,ucode-pred";
+    std::string out_path;
+    std::string security_out_path;
+    std::string from_report_path;
+    uint64_t seeds = 64;
+    uint64_t jobs = env.jobs;
+    uint64_t seed = 1;
+    uint64_t retries = 1;
+    bool isolate = env.isolate;
+    double timeout = env.timeoutSeconds;
+    unsigned shard_index = env.shardIndex;
+    unsigned shard_count = env.shardCount;
+    bool quiet = false;
+    std::vector<std::string> cache_paths = env.cachePaths;
+    bool no_cache = false;
+    bool no_uninit = false;
+    bool list_only = false;
+
+    cli::FlagParser parser(
+        argv0, "attack",
+        "Run a security campaign: every attack case (seeded "
+        "generated\nexploits and/or the hand-written suites) "
+        "against every variant,\nwith the baseline rows doubling "
+        "as exploit validity checks\n(indicator fired => the "
+        "corruption really landed). Emits the\nusual campaign "
+        "report (chex-campaign-report-v6) plus the "
+        "distilled\nchex-security-report-v1 (per-variant detection "
+        "rate, anchor-class\nbreakdown, baseline validity, escaped "
+        "attacks keyed for replay).");
+    parser.add("--attacks", "LIST",
+               "comma-separated attack tokens: 'suites', a\n"
+               "suite ('ripe', 'asan', 'how2heap'), 'gen',\n"
+               "'gen/<family>', or an explicit case ID\n"
+               "(default: gen/mix)",
+               [&](const std::string &v) {
+                   attacks_arg = v;
+                   return true;
+               });
+    parser.add("--seeds", "N",
+               "generated-attack instances per gen/<family>\n"
+               "token, seeded from (campaign seed, instance\n"
+               "index); hand-written cases always run once\n"
+               "(default: 64)",
+               [&](const std::string &v) {
+                   return parseUint(v, seeds);
+               });
+    parser.add("--variants", "LIST",
+               "comma-separated variant tokens, or 'all';\n"
+               "'baseline' is force-included for exploit\n"
+               "validation (default: baseline,ucode-pred)",
+               [&](const std::string &v) {
+                   variants_arg = v;
+                   return true;
+               });
+    parser.add("--jobs", "N",
+               "worker threads (default: $CHEX_BENCH_JOBS or all "
+               "cores)",
+               [&](const std::string &v) {
+                   return parseUint(v, jobs);
+               });
+    parser.add("--seed", "S", "campaign seed (default: 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, seed);
+               });
+    parser.add("--retries", "N",
+               "attempts per job before it is recorded\n"
+               "as failed (default: 1)",
+               [&](const std::string &v) {
+                   return parseUint(v, retries);
+               });
+    parser.add("--isolate",
+               "fork each job into its own child process",
+               [&]() { isolate = true; });
+    parser.add("--timeout", "SECS",
+               "per-attempt wall-clock watchdog; implies\n"
+               "--isolate",
+               [&](const std::string &v) {
+                   char *end = nullptr;
+                   double t = std::strtod(v.c_str(), &end);
+                   if (!end || *end != '\0' || !(t >= 0.0))
+                       return false;
+                   timeout = t;
+                   return true;
+               });
+    parser.add("--shard", "I/N",
+               "run only shard I of N; shards merge with\n"
+               "`merge`, then distill with `attack\n"
+               "--from-report` (default: $CHEX_BENCH_SHARD\n"
+               "or 0/1)",
+               [&](const std::string &v) {
+                   std::string err;
+                   if (!driver::parseShardSpec(v, shard_index,
+                                               shard_count, &err)) {
+                       std::fprintf(stderr, "%s: --shard %s: %s\n",
+                                    argv0, v.c_str(), err.c_str());
+                       return false;
+                   }
+                   return true;
+               });
+    parser.add("--cache", "FILE",
+               "load a previous campaign report as a result\n"
+               "cache (repeatable; also seeded from\n"
+               "$CHEX_BENCH_CACHE)",
+               [&](const std::string &v) {
+                   cache_paths.push_back(v);
+                   return true;
+               },
+               cli::Repeat::Allowed);
+    parser.add("--no-cache",
+               "ignore --cache and $CHEX_BENCH_CACHE",
+               [&]() { no_cache = true; });
+    parser.add("--out", "FILE",
+               "write the raw campaign report to FILE",
+               [&](const std::string &v) {
+                   out_path = v;
+                   return true;
+               });
+    parser.add("--security-out", "FILE",
+               "write the distilled chex-security-report-v1\n"
+               "to FILE (refused for sharded runs: merge the\n"
+               "shards, then use --from-report)",
+               [&](const std::string &v) {
+                   security_out_path = v;
+                   return true;
+               });
+    parser.add("--from-report", "FILE",
+               "skip running: distill the security report\n"
+               "from an existing (merged) campaign report",
+               [&](const std::string &v) {
+                   from_report_path = v;
+                   return true;
+               });
+    parser.add("--no-uninit",
+               "leave uninitialized-read detection off\n"
+               "(default: on for every attack job, so the\n"
+               "uninit family is detectable; inert under\n"
+               "the baseline)",
+               [&]() { no_uninit = true; });
+    parser.add("--quiet", "suppress per-job progress lines",
+               [&]() { quiet = true; });
+    parser.add("--list", "list attack tokens and variants, exit",
+               [&]() { list_only = true; });
+
+    switch (parser.parse(argc, argv, begin)) {
+      case cli::ParseStatus::Ok: break;
+      case cli::ParseStatus::ExitOk: return 0;
+      case cli::ParseStatus::ExitUsage: return 2;
+    }
+    if (list_only) {
+        listAttackChoices();
+        return 0;
+    }
+
+    std::string ctx = std::string(argv0) + " attack";
+
+    // --from-report is the distill-only mode: load, derive, write.
+    if (!from_report_path.empty()) {
+        driver::CampaignReport prior;
+        std::string err;
+        if (!driver::loadReportFile(from_report_path, prior, &err)) {
+            std::fprintf(stderr, "%s: %s\n", ctx.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        driver::SecurityReport sec;
+        if (!driver::buildSecurityReport(prior, &sec, &err)) {
+            std::fprintf(stderr, "%s: %s\n", ctx.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        if (!security_out_path.empty()) {
+            std::ofstream sout(security_out_path);
+            if (!sout) {
+                std::fprintf(stderr, "%s: cannot write '%s'\n",
+                             ctx.c_str(),
+                             security_out_path.c_str());
+                return 1;
+            }
+            driver::writeSecurityReport(sec, sout);
+        } else {
+            driver::writeSecurityReport(sec, std::cout);
+        }
+        if (!quiet)
+            printSecuritySummary(sec);
+        return 0;
+    }
+
+    if (seeds == 0)
+        seeds = 1;
+    if (timeout > 0.0 && !isolate)
+        isolate = true;
+    if (shard_count > 1 && !security_out_path.empty()) {
+        std::fprintf(stderr,
+                     "%s: --security-out on a sharded run would "
+                     "distill a slice of the campaign; merge the "
+                     "shards, then `attack --from-report`\n",
+                     ctx.c_str());
+        return 2;
+    }
+
+    std::vector<std::string> attack_ids;
+    std::vector<VariantKind> variants;
+    if (!resolveAttacks(ctx.c_str(), attacks_arg, &attack_ids) ||
+        !resolveVariants(ctx.c_str(), variants_arg, &variants)) {
+        return 2;
+    }
+    if (attack_ids.empty() || variants.empty()) {
+        std::fprintf(stderr, "%s: nothing to run\n", ctx.c_str());
+        return 2;
+    }
+    // The baseline rows are the exploit-validity ground truth; a
+    // security campaign without them cannot tell a thwarted exploit
+    // from a dud, so force the baseline in.
+    if (std::find(variants.begin(), variants.end(),
+                  VariantKind::Baseline) == variants.end()) {
+        variants.insert(variants.begin(), VariantKind::Baseline);
+        if (!quiet) {
+            std::printf("note: including baseline for exploit "
+                        "validation\n");
+        }
+    }
+
+    // One instance = one (attack ID, derived seed) pair, pinned
+    // across every variant so baseline validity and enforcement
+    // rows describe the identical synthesized program.
+    std::vector<driver::JobSpec> specs;
+    size_t instance = 0;
+    for (const std::string &id : attack_ids) {
+        uint64_t count = isGeneratedAttackId(id) ? seeds : 1;
+        for (uint64_t i = 0; i < count; ++i, ++instance) {
+            uint64_t instance_seed = driver::jobSeed(seed, instance);
+            for (VariantKind kind : variants) {
+                driver::JobSpec spec;
+                spec.label = id +
+                             csprintf("#%llu/",
+                                      static_cast<unsigned long long>(
+                                          i)) +
+                             variantName(kind);
+                spec.attack = id;
+                spec.profile = attackProfile();
+                spec.config.variant.kind = kind;
+                spec.config.detectUninitializedReads = !no_uninit;
+                spec.workloadSeed = instance_seed;
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+
+    std::ofstream out;
+    if (!out_path.empty()) {
+        out.open(out_path);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write '%s'\n",
+                         ctx.c_str(), out_path.c_str());
+            return 1;
+        }
+    }
+    std::ofstream security_out;
+    if (!security_out_path.empty()) {
+        security_out.open(security_out_path);
+        if (!security_out) {
+            std::fprintf(stderr, "%s: cannot write '%s'\n",
+                         ctx.c_str(), security_out_path.c_str());
+            return 1;
+        }
+    }
+
+    driver::CampaignOptions opts;
+    opts.workers = static_cast<unsigned>(jobs);
+    opts.seed = seed;
+    opts.maxAttempts = static_cast<unsigned>(retries ? retries : 1);
+    opts.isolation = isolate;
+    opts.timeoutSeconds = timeout;
+    opts.shardIndex = shard_index;
+    opts.shardCount = shard_count;
+
+    if (no_cache)
+        cache_paths.clear();
+    for (const std::string &path : cache_paths) {
+        driver::CampaignReport prior;
+        std::string err;
+        if (!driver::loadReportFile(path, prior, &err)) {
+            std::fprintf(stderr, "%s: cache %s\n", ctx.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        opts.cacheReports.push_back(std::move(prior));
+    }
+
+    size_t in_shard = 0;
+    for (size_t i = 0; i < specs.size(); ++i)
+        if (i % shard_count == shard_index)
+            ++in_shard;
+    if (shard_count > 1) {
+        std::printf("shard %u/%u: %zu of %zu attack jobs in shard\n",
+                    shard_index, shard_count, in_shard,
+                    specs.size());
+    }
+
+    size_t done = 0;
+    if (!quiet) {
+        opts.onJobDone = [&](const driver::JobResult &jr) {
+            ++done;
+            if (jr.failed) {
+                std::printf("[%3zu/%zu] %-44s FAILED [%s] (%s)\n",
+                            done, in_shard, jr.label.c_str(),
+                            driver::failureCauseName(jr.cause),
+                            jr.error.c_str());
+            } else {
+                const char *verdict =
+                    jr.run.violationDetected
+                        ? "DETECTED"
+                        : (jr.run.indicatorChecked
+                               ? (jr.run.indicatorFired
+                                      ? "exploit landed"
+                                      : "exploit dud")
+                               : "escaped");
+                std::printf("[%3zu/%zu] %-44s %s%s\n", done,
+                            in_shard, jr.label.c_str(), verdict,
+                            jr.cached ? "  (cached)" : "");
+            }
+            std::fflush(stdout);
+        };
+    }
+
+    driver::CampaignReport report = driver::runCampaign(specs, opts);
+
+    std::printf("\nattack campaign: %zu jobs (%zu cached, %zu "
+                "failed, %zu out of shard) on %u workers, %.2fs "
+                "wall\n",
+                report.jobsRun, report.jobsCached,
+                report.jobsFailed, report.jobsSkipped,
+                report.workers, report.wallSeconds);
+
+    if (out.is_open()) {
+        driver::writeReport(report, out);
+        std::printf("report: %s\n", out_path.c_str());
+    }
+
+    // Distill unless this run is one shard of a larger campaign (a
+    // slice's rates would misrepresent it — the builder refuses).
+    if (std::max(1u, report.shardCount) == 1) {
+        driver::SecurityReport sec;
+        std::string err;
+        if (!driver::buildSecurityReport(report, &sec, &err)) {
+            std::fprintf(stderr, "%s: %s\n", ctx.c_str(),
+                         err.c_str());
+            return 1;
+        }
+        if (security_out.is_open()) {
+            driver::writeSecurityReport(sec, security_out);
+            std::printf("security report: %s\n",
+                        security_out_path.c_str());
+        }
+        printSecuritySummary(sec);
+    }
+
+    return report.jobsFailed ? 1 : 0;
+}
+
 int
 snapshotMain(const char *argv0, int argc, char **argv, int begin)
 {
@@ -669,6 +1154,7 @@ replayMain(const char *argv0, int argc, char **argv, int begin)
     uint64_t scale = env.scale;
     bool isolate = env.isolate;
     double timeout = env.timeoutSeconds;
+    bool uninit = false;
     bool quiet = false;
 
     cli::FlagParser parser(
@@ -728,6 +1214,13 @@ replayMain(const char *argv0, int argc, char **argv, int begin)
                    timeout = t;
                    return true;
                });
+    parser.add("--uninit",
+               "the original campaign ran with\n"
+               "uninitialized-read detection on (the\n"
+               "`attack` subcommand's default); required\n"
+               "for such rows, or the reconstructed spec\n"
+               "hash will not match the recorded one",
+               [&]() { uninit = true; });
     parser.add("--quiet", "suppress the replay progress line",
                [&]() { quiet = true; });
 
@@ -773,8 +1266,11 @@ replayMain(const char *argv0, int argc, char **argv, int begin)
         return 2;
     }
 
+    SystemConfig base;
+    base.detectUninitializedReads = uninit;
+
     driver::ReplayPlan plan;
-    if (!driver::planReplay(report, row, SystemConfig{}, scale,
+    if (!driver::planReplay(report, row, base, scale,
                             bundle.get(), &plan, &err)) {
         std::fprintf(stderr, "%s: %s\n", ctx.c_str(), err.c_str());
         return 2;
@@ -918,6 +1414,9 @@ globalUsage(const char *argv0, FILE *out)
         "commands:\n"
         "  run       run a simulation campaign (the default: a bare\n"
         "            `%s [options]` invocation means `run`)\n"
+        "  attack    sweep seeded generated exploits (and the\n"
+        "            hand-written suites) across variants and emit\n"
+        "            the distilled security report\n"
         "  merge     merge shard reports from `run --shard I/N`\n"
         "  snapshot  warm every job point and write a snapshot\n"
         "            bundle for `run --from-snapshot`\n"
@@ -937,6 +1436,8 @@ main(int argc, char **argv)
         std::string first = argv[1];
         if (first == "run")
             return runMain(argv[0], argc, argv, 2, false);
+        if (first == "attack")
+            return attackMain(argv[0], argc, argv, 2);
         if (first == "merge")
             return mergeMain(argv[0], argc, argv, 2);
         if (first == "snapshot")
